@@ -1,0 +1,12 @@
+"""Benchmark A1: notification policy traffic vs adaptation lag."""
+
+from conftest import regenerate
+
+from repro.experiments import a1_notification
+
+
+def test_a1_notification(benchmark):
+    table = regenerate(benchmark, a1_notification.run)
+    rows = {row[0]: (row[1], row[2]) for row in table.rows}
+    assert rows["immediate"][0] > rows["persistent-only"][0]
+    assert rows["persistent-only"][1] <= 6.0  # bounded adaptation lag

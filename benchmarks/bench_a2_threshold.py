@@ -1,0 +1,12 @@
+"""Benchmark A2: sweeping the correctness-promotion threshold T."""
+
+from conftest import regenerate
+
+from repro.experiments import a2_threshold
+
+
+def test_a2_threshold(benchmark):
+    table = regenerate(benchmark, a2_threshold.run)
+    availability = table.column("availability")
+    # The low-T extreme kills working servers and craters availability.
+    assert availability[0] < min(availability[1:])

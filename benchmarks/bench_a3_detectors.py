@@ -1,0 +1,12 @@
+"""Benchmark A3: detector families, detection lag vs false positives."""
+
+from conftest import regenerate
+
+from repro.experiments import a3_detectors
+
+
+def test_a3_detectors(benchmark):
+    table = regenerate(benchmark, a3_detectors.run)
+    rows = {row[0]: (row[1], row[2]) for row in table.rows}
+    assert all(lag != float("inf") for __, lag in rows.values())
+    assert rows["threshold, window=16"][0] <= rows["threshold, window=2"][0]

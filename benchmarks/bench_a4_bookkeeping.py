@@ -1,0 +1,15 @@
+"""Benchmark A4: adaptive striping's bookkeeping vs robustness."""
+
+from conftest import regenerate
+
+from repro.experiments import a4_bookkeeping
+
+
+def test_a4_bookkeeping(benchmark):
+    table = regenerate(benchmark, a4_bookkeeping.run)
+    adaptive = [row for row in table.rows if row[1] == "adaptive"]
+    uniform = [row for row in table.rows if row[1] == "uniform"]
+    for a_row, u_row in zip(adaptive, uniform):
+        assert a_row[2] == a_row[0]  # one map entry per block
+        assert u_row[2] == 0
+        assert a_row[3] > u_row[3]  # robustness bought by the map

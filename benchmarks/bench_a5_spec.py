@@ -1,0 +1,12 @@
+"""Benchmark A5: simple vs load-aware performance specifications."""
+
+from conftest import regenerate
+
+from repro.experiments import a5_spec
+
+
+def test_a5_spec(benchmark):
+    table = regenerate(benchmark, a5_spec.run)
+    simple, banded = table.rows
+    assert simple[1] > banded[1]  # simple spec flags legitimate load dips
+    assert simple[3] > 0 and banded[3] > 0  # both catch the real fault

@@ -1,0 +1,13 @@
+"""Benchmark A6: rebuild throttle trade-off."""
+
+from conftest import regenerate
+
+from repro.experiments import a6_rebuild
+
+
+def test_a6_rebuild(benchmark):
+    table = regenerate(benchmark, a6_rebuild.run, throttles=(0.0, 1.0, 4.0), blocks=550)
+    exposures = table.column("exposure window (s)")
+    latencies = table.column("mean foreground read (s)")
+    assert exposures == sorted(exposures)
+    assert latencies == sorted(latencies, reverse=True)

@@ -1,0 +1,13 @@
+"""Benchmark A7: the hedge-after threshold trade-off."""
+
+from conftest import regenerate
+
+from repro.experiments import a7_hedging
+
+
+def test_a7_hedging(benchmark):
+    table = regenerate(benchmark, a7_hedging.run)
+    makespans = table.column("makespan (s)")
+    duplicates = table.column("duplicates")
+    assert makespans[-1] > 1.15 * makespans[0]  # disabled pays the straggler
+    assert duplicates[0] > duplicates[-1]  # eagerness costs duplicates

@@ -1,0 +1,14 @@
+"""Benchmark E1: the Section 3.2 RAID-10 three-scenario table."""
+
+from conftest import regenerate
+
+from repro.experiments import e01_raid10
+
+
+def test_e01_raid10(benchmark):
+    table = regenerate(benchmark, e01_raid10.run, n_blocks=400)
+    assert len(table) == 9
+    # Headline shape: adaptive striping holds (N-1)B + b through a
+    # dynamic fault while uniform/proportional track the slow disk.
+    dynamic = {row[1]: row[2] for row in table.rows if row[0] == "dynamic-fault"}
+    assert dynamic["adaptive"] > 1.5 * dynamic["uniform"]

@@ -1,0 +1,13 @@
+"""Benchmark E2: striped storage tracks the single slowest disk."""
+
+from conftest import regenerate
+
+from repro.experiments import e02_striping
+
+
+def test_e02_striping(benchmark):
+    table = regenerate(benchmark, e02_striping.run, n_blocks=512)
+    measured = table.column("measured MB/s")
+    predicted = table.column("N*b prediction")
+    for m, p in zip(measured, predicted):
+        assert abs(m - p) / p < 0.05

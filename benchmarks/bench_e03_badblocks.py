@@ -1,0 +1,13 @@
+"""Benchmark E3: bad-block remapping vs sequential bandwidth."""
+
+from conftest import regenerate
+
+from repro.experiments import e03_badblocks
+
+
+def test_e03_badblocks(benchmark):
+    table = regenerate(benchmark, e03_badblocks.run, nblocks=8000)
+    fractions = dict(
+        zip(table.column("fault-rate multiplier"), table.column("fraction of clean"))
+    )
+    assert 0.85 < fractions[3.0] < 0.97  # paper: ~0.91

@@ -1,0 +1,13 @@
+"""Benchmark E4: SCSI timeout/parity accounting and reset impact."""
+
+from conftest import regenerate
+
+from repro.experiments import e04_scsi
+
+
+def test_e04_scsi(benchmark):
+    # The study's window: 6 months, enough errors for the mix to converge.
+    table = regenerate(benchmark, e04_scsi.run, days=180.0)
+    rows = {row[0]: row[1] for row in table.rows}
+    assert abs(rows["SCSI fraction of all errors"] - 0.49) < 0.08
+    assert abs(rows["SCSI fraction excl. network"] - 0.87) < 0.08

@@ -1,0 +1,11 @@
+"""Benchmark E5: multi-zone bandwidth profile."""
+
+from conftest import regenerate
+
+from repro.experiments import e05_zones
+
+
+def test_e05_zones(benchmark):
+    table = regenerate(benchmark, e05_zones.run)
+    rates = table.column("measured MB/s")
+    assert 1.8 < rates[0] / rates[-1] < 2.2  # paper: up to 2x

@@ -1,0 +1,12 @@
+"""Benchmark E6: Vesta-style run-to-run variance distribution."""
+
+from conftest import regenerate
+
+from repro.experiments import e06_variance
+
+
+def test_e06_variance(benchmark):
+    table = regenerate(benchmark, e06_variance.run, n_runs=60)
+    stats = dict(zip(table.column("statistic"), table.column("fraction of peak")))
+    assert stats["median"] > 0.8
+    assert stats["worst"] < 0.5

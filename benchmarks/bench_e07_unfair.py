@@ -1,0 +1,11 @@
+"""Benchmark E7: switch unfairness slows the global transfer."""
+
+from conftest import regenerate
+
+from repro.experiments import e07_unfair
+
+
+def test_e07_unfair(benchmark):
+    table = regenerate(benchmark, e07_unfair.run)
+    slowdowns = dict(zip(table.column("switch"), table.column("slowdown vs fair")))
+    assert slowdowns["half the ports favored"] > 1.4  # paper: ~50% slowdown

@@ -1,0 +1,11 @@
+"""Benchmark E8: one slow receiver vs the all-to-all transpose."""
+
+from conftest import regenerate
+
+from repro.experiments import e08_transpose
+
+
+def test_e08_transpose(benchmark):
+    table = regenerate(benchmark, e08_transpose.run)
+    slowdowns = table.column("slowdown vs healthy")
+    assert any(2.5 < s < 5.0 for s in slowdowns)  # paper: ~3x

@@ -1,0 +1,14 @@
+"""Benchmark E9: deadlock-recovery stalls from gappy messages."""
+
+from conftest import regenerate
+
+from repro.experiments import e09_deadlock
+
+
+def test_e09_deadlock(benchmark):
+    table = regenerate(benchmark, e09_deadlock.run)
+    for gap, duration, events, __ in table.rows:
+        if gap > 0.25:
+            assert events >= 1 and duration > 2.0
+        else:
+            assert events == 0

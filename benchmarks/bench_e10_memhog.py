@@ -1,0 +1,11 @@
+"""Benchmark E10: memory hog vs interactive response time."""
+
+from conftest import regenerate
+
+from repro.experiments import e10_memhog
+
+
+def test_e10_memhog(benchmark):
+    table = regenerate(benchmark, e10_memhog.run)
+    slowdowns = table.column("slowdown vs no hog")
+    assert max(slowdowns) > 40.0  # paper: up to 40x worse

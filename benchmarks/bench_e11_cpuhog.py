@@ -1,0 +1,12 @@
+"""Benchmark E11: CPU hog vs the parallel sort, four policies."""
+
+from conftest import regenerate
+
+from repro.experiments import e11_cpuhog
+
+
+def test_e11_cpuhog(benchmark):
+    table = regenerate(benchmark, e11_cpuhog.run, total_mb=320.0)
+    by_key = {(row[0], row[1]): row[3] for row in table.rows}
+    assert 1.5 < by_key[("static", True)] <= 2.1  # paper: ~2x
+    assert by_key[("pull", True)] < 1.45

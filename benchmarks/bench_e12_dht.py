@@ -1,0 +1,12 @@
+"""Benchmark E12: GC pauses in the replicated DHT."""
+
+from conftest import regenerate
+
+from repro.experiments import e12_dht
+
+
+def test_e12_dht(benchmark):
+    table = regenerate(benchmark, e12_dht.run, n_ops=800)
+    p99 = dict(zip(table.column("configuration"), table.column("p99 (s)")))
+    assert p99["GC, hashed"] > 10 * p99["no GC, hashed"]
+    assert p99["GC, adaptive placement"] < 0.3 * p99["GC, hashed"]

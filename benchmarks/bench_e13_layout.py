@@ -1,0 +1,11 @@
+"""Benchmark E13: file-system aging vs sequential reads."""
+
+from conftest import regenerate
+
+from repro.experiments import e13_layout
+
+
+def test_e13_layout(benchmark):
+    table = regenerate(benchmark, e13_layout.run)
+    fractions = table.column("fraction of fresh")
+    assert min(fractions) < 0.55  # paper: up to 2x loss

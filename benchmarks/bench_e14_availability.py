@@ -1,0 +1,13 @@
+"""Benchmark E14: availability across routing policies and faults."""
+
+from conftest import regenerate
+
+from repro.experiments import e14_availability
+
+
+def test_e14_availability(benchmark):
+    table = regenerate(benchmark, e14_availability.run, n_requests=600)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["round-robin"][2] < 0.9  # fail-stop design loses availability
+    assert rows["weighted"][2] > 0.95  # fail-stutter design keeps it
+    assert rows["weighted+T"][3] > 0.95  # watchdog handles the full stall

@@ -1,0 +1,11 @@
+"""Benchmark E15: cache fault masking on 'identical' parts."""
+
+from conftest import regenerate
+
+from repro.experiments import e15_cachemask
+
+
+def test_e15_cachemask(benchmark):
+    table = regenerate(benchmark, e15_cachemask.run)
+    worst = table.column("relative runtime")[-1]
+    assert 1.25 < worst < 1.6  # paper: up to 40%

@@ -1,0 +1,11 @@
+"""Benchmark E16: run-to-run nondeterminism from predictor state."""
+
+from conftest import regenerate
+
+from repro.experiments import e16_nondeterminism
+
+
+def test_e16_nondeterminism(benchmark):
+    table = regenerate(benchmark, e16_nondeterminism.run)
+    stats = dict(zip(table.column("statistic"), table.column("value")))
+    assert abs(stats["slow/fast ratio"] - 3.0) < 0.2  # paper: up to 3x

@@ -1,0 +1,11 @@
+"""Benchmark E17: page placement vs cache misses."""
+
+from conftest import regenerate
+
+from repro.experiments import e17_pagecolor
+
+
+def test_e17_pagecolor(benchmark):
+    table = regenerate(benchmark, e17_pagecolor.run)
+    worst = table.column("relative runtime")[-1]
+    assert 1.3 < worst < 1.7  # paper: up to 50%

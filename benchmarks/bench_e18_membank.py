@@ -1,0 +1,11 @@
+"""Benchmark E18: scalar-vector memory bank interference."""
+
+from conftest import regenerate
+
+from repro.experiments import e18_membank
+
+
+def test_e18_membank(benchmark):
+    table = regenerate(benchmark, e18_membank.run)
+    losses = table.column("loss vs clean")
+    assert any(1.8 < loss < 2.6 for loss in losses)  # paper: up to 2x

@@ -1,0 +1,12 @@
+"""Benchmark E19: failure prediction from stutter trends."""
+
+from conftest import regenerate
+
+from repro.experiments import e19_prediction
+
+
+def test_e19_prediction(benchmark):
+    table = regenerate(benchmark, e19_prediction.run)
+    stats = dict(zip(table.column("metric"), table.column("value")))
+    assert stats["recall"] >= 0.75
+    assert stats["mean warning lead time (s)"] > 100.0

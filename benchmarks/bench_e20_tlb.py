@@ -1,0 +1,15 @@
+"""Benchmark E20: nondeterministic TLB replica divergence."""
+
+from conftest import regenerate
+
+from repro.experiments import e20_tlb
+
+
+def test_e20_tlb(benchmark):
+    table = regenerate(benchmark, e20_tlb.run)
+    random_pressured = [
+        row for row in table.rows if row[1] == "random" and row[0] > 64
+    ]
+    assert all(row[2] > 0.1 for row in random_pressured)
+    lru_rows = [row for row in table.rows if row[1] == "lru"]
+    assert all(row[2] == 0.0 for row in lru_rows)

@@ -1,0 +1,12 @@
+"""Benchmark E21: plug-and-play incremental growth."""
+
+from conftest import regenerate
+
+from repro.experiments import e21_growth
+
+
+def test_e21_growth(benchmark):
+    table = regenerate(benchmark, e21_growth.run, n_blocks=600)
+    four_new = [row for row in table.rows if row[0] == 4][0]
+    assert four_new[2] > 1.4 * four_new[1]  # adaptive beats uniform
+    assert four_new[4] > 0.95  # and runs at the aggregate capacity

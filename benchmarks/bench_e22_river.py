@@ -1,0 +1,13 @@
+"""Benchmark E22: distributed queue vs static partitioning."""
+
+from conftest import regenerate
+
+from repro.experiments import e22_river
+
+
+def test_e22_river(benchmark):
+    table = regenerate(benchmark, e22_river.run, n_records=120)
+    perturbed = [row for row in table.rows if row[0] <= 0.25]
+    for row in perturbed:
+        assert row[2] > 1.5 * row[1]  # DQ beats hash partitioning
+        assert row[4] > 0.7  # and stays near ideal capacity

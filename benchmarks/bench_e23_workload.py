@@ -1,0 +1,13 @@
+"""Benchmark E23: skewed-workload tolerance of placement policies."""
+
+from conftest import regenerate
+
+from repro.experiments import e23_workload
+
+
+def test_e23_workload(benchmark):
+    table = regenerate(benchmark, e23_workload.run, n_ops=600)
+    p99_idx = table.columns.index("p99 (s)")
+    by = {(row[0], row[1]): row[p99_idx] for row in table.rows}
+    assert by[(0.8, "hash")] > 1.5 * by[(0.0, "hash")]
+    assert by[(0.8, "adaptive")] < 0.8 * by[(0.8, "hash")]

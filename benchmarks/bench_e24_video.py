@@ -1,0 +1,13 @@
+"""Benchmark E24: video-server glitches under disk offlining."""
+
+from conftest import regenerate
+
+from repro.experiments import e24_video
+
+
+def test_e24_video(benchmark):
+    table = regenerate(benchmark, e24_video.run, n_frames=120)
+    worst = table.rows[-1]
+    assert worst[1] > 0.05  # primary-only glitches under heavy offlining
+    assert worst[2] < 0.8 * worst[1]  # mirror failover helps
+    assert worst[3] < 0.01  # hedged reads mask the stalls entirely

@@ -1,0 +1,13 @@
+"""Benchmark E25: observer-dependent performance-fault verdicts."""
+
+from conftest import regenerate
+
+from repro.experiments import e25_observer
+
+
+def test_e25_observer(benchmark):
+    table = regenerate(benchmark, e25_observer.run)
+    verdicts = {(row[0], row[1]): row[3] for row in table.rows}
+    assert verdicts[("clientA's access link", "clientA")] == "faulty"
+    assert verdicts[("clientA's access link", "clientC")] == "healthy"
+    assert verdicts[("server's shared uplink", "clientC")] == "faulty"

@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one experiment table from DESIGN.md's index
+(``pytest benchmarks/ --benchmark-only``).  The benchmark value is the
+wall-clock cost of regenerating that experiment; the *content* of the
+table is asserted inside each benchmark so a regression in the paper
+shape fails the run even when timing is fine.
+"""
+
+import pytest
+
+
+def regenerate(benchmark, runner, **params):
+    """Benchmark one experiment runner and return its table."""
+    return benchmark.pedantic(lambda: runner(**params), iterations=1, rounds=3)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""'Identical' processors that aren't: fault masking and nondeterminism.
+
+Two Section 2.1.1 war stories on the processor substrate:
+
+1. The Viking study: chips specified as 16 KB 4-way L1 whose effective
+   cache measures 4 KB direct-mapped because fault masking disabled
+   three ways at the factory.  Run the cache-sizing microbenchmark and
+   an application trace on both parts.
+2. Kushman's UltraSPARC nonmonotonicity: the same snippet, run many
+   times under identical conditions, lands on one of two runtimes that
+   differ 3x depending on leftover predictor state.
+
+Run:  python examples/fault_masked_chips.py
+"""
+
+import random
+
+from repro.processor import (
+    Cache,
+    CacheConfig,
+    NextFieldPredictor,
+    run_snippet,
+    run_trace,
+    working_set_loop,
+)
+
+SPEC = CacheConfig(size_bytes=16 * 1024, ways=4, line_bytes=32)
+
+
+def measure_effective_size(cache):
+    """The Viking micro-benchmark: grow the working set until it thrashes."""
+    for kb in (2, 4, 8, 16, 32):
+        # Warm up, then measure steady state.
+        trace = working_set_loop(kb * 1024, iterations=2)
+        run_trace(cache, trace)
+        cache.reset_counters()
+        cost = run_trace(cache, working_set_loop(kb * 1024, iterations=3))
+        if cost.misses / cost.accesses > 0.5:
+            return f"<{kb}KB"
+    return ">=32KB"
+
+
+def main():
+    print("two chips, both sold as '16KB 4-way L1':\n")
+    healthy = Cache(SPEC)
+    masked = Cache(SPEC)
+    masked.mask_ways(3)  # the TI-produced parts
+
+    for label, cache in (("chip A (healthy)", healthy), ("chip B (masked)", masked)):
+        probe = Cache(SPEC)
+        if cache is masked:
+            probe.mask_ways(3)
+        size = measure_effective_size(probe)
+        print(f"  {label:<18} effective cache by microbenchmark: {size}")
+
+    # Application performance difference.
+    app = working_set_loop(8 * 1024, iterations=5)
+    cost_a = run_trace(Cache(SPEC), app)
+    chip_b = Cache(SPEC)
+    chip_b.mask_ways(3)
+    cost_b = run_trace(chip_b, app)
+    cpu = 6  # non-memory work per access
+    runtime_a = cost_a.cycles + cost_a.accesses * cpu
+    runtime_b = cost_b.cycles + cost_b.accesses * cpu
+    print(f"\n  8KB-working-set app: chip B runs "
+          f"{runtime_b / runtime_a:.2f}x slower than chip A")
+
+    print("\nKushman nonmonotonicity: one snippet, 20 'identical' runs:")
+    snippet = [(0, 5)] * 1000
+    runtimes = []
+    for seed in range(20):
+        predictor = NextFieldPredictor(
+            4, random.Random(seed), update="sticky", target_space=8
+        )
+        runtimes.append(
+            run_snippet(predictor, snippet, base_cycles=1, mispredict_penalty=2).cycles
+        )
+    fast, slow = min(runtimes), max(runtimes)
+    print(f"  runtimes observed: fast={fast} cycles, slow={slow} cycles "
+          f"({slow / fast:.1f}x apart)")
+    print(f"  {sum(1 for r in runtimes if r == slow)} of 20 runs were slow -- "
+          "purely from leftover predictor state")
+    assert runtime_b > 1.2 * runtime_a
+    assert slow / fast > 2.5
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the ``wheel`` package
+(pip falls back to the legacy ``setup.py develop`` editable path).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro list                 # enumerate experiment ids
+    python -m repro run e01 e14          # regenerate specific experiments
+    python -m repro run all              # regenerate everything
+    python -m repro report               # full EXPERIMENTS.md content
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import ALL_EXPERIMENTS
+from .experiments.report import CLAIMS, generate
+
+
+def _cmd_list() -> int:
+    for key in ALL_EXPERIMENTS:
+        claim = CLAIMS.get(key, "")
+        first_sentence = claim.split(". ")[0][:90]
+        print(f"{key:<5} {first_sentence}")
+    return 0
+
+
+def _cmd_run(ids) -> int:
+    if ids == ["all"]:
+        ids = list(ALL_EXPERIMENTS)
+    unknown = [key for key in ids if key not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for key in ids:
+        print(ALL_EXPERIMENTS[key]().render())
+        print()
+    return 0
+
+
+def _cmd_report() -> int:
+    print(generate())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fail-stutter fault tolerance reproduction: experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="enumerate experiment ids and claims")
+    run_parser = sub.add_parser("run", help="regenerate experiments by id")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids (or 'all')")
+    sub.add_parser("report", help="print the full EXPERIMENTS.md content")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.ids)
+    return _cmd_report()
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(0)

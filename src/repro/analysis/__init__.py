@@ -1,0 +1,19 @@
+"""Measurement and reporting utilities for experiments."""
+
+from .availability import availability_curve, unavailability_nines
+from .report import Table
+from .stats import Summary, confidence_interval, geometric_mean, ratio, summarize
+from .sweep import cross, sweep
+
+__all__ = [
+    "Table",
+    "Summary",
+    "summarize",
+    "confidence_interval",
+    "geometric_mean",
+    "ratio",
+    "sweep",
+    "cross",
+    "availability_curve",
+    "unavailability_nines",
+]

@@ -1,0 +1,42 @@
+"""Availability analysis (Gray & Reuter, Section 3.3).
+
+"The fraction of the offered load that is processed with acceptable
+response times."  These helpers turn an
+:class:`~repro.sim.metrics.AvailabilityMeter` into the curves and
+summaries the availability experiment (E14) reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..sim.metrics import AvailabilityMeter
+
+__all__ = ["availability_curve", "unavailability_nines"]
+
+
+def availability_curve(
+    meter: AvailabilityMeter, slos: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """(slo, availability) points; monotone nondecreasing in slo."""
+    if not slos:
+        raise ValueError("need at least one SLO point")
+    if any(s <= 0 for s in slos):
+        raise ValueError("SLOs must be > 0")
+    return [(slo, meter.availability_at(slo)) for slo in sorted(slos)]
+
+
+def unavailability_nines(availability: float) -> float:
+    """Availability expressed as 'number of nines' (0.999 -> 3.0).
+
+    Full availability maps to ``inf``; zero maps to 0.
+    """
+    if not 0.0 <= availability <= 1.0:
+        raise ValueError(f"availability must be in [0, 1], got {availability}")
+    if availability >= 1.0:
+        return float("inf")
+    if availability <= 0.0:
+        return 0.0
+    import math
+
+    return -math.log10(1.0 - availability)

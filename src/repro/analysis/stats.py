@@ -1,0 +1,55 @@
+"""Small statistics helpers for experiment analysis."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["Summary", "summarize", "confidence_interval", "geometric_mean", "ratio"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Summary statistics of ``samples`` (population stddev)."""
+    if not samples:
+        raise ValueError("no samples")
+    n = len(samples)
+    mean = sum(samples) / n
+    var = sum((x - mean) ** 2 for x in samples) / n
+    return Summary(n=n, mean=mean, stddev=math.sqrt(var), minimum=min(samples), maximum=max(samples))
+
+
+def confidence_interval(samples: Sequence[float], z: float = 1.96) -> Tuple[float, float]:
+    """Normal-approximation CI for the mean (default 95%)."""
+    s = summarize(samples)
+    if s.n < 2:
+        return (s.mean, s.mean)
+    half = z * s.stddev / math.sqrt(s.n - 1)
+    return (s.mean - half, s.mean + half)
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean (samples must be positive)."""
+    if not samples:
+        raise ValueError("no samples")
+    if any(x <= 0 for x in samples):
+        raise ValueError("geometric mean needs positive samples")
+    return math.exp(sum(math.log(x) for x in samples) / len(samples))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio: inf when the denominator is zero."""
+    if denominator == 0:
+        return float("inf")
+    return numerator / denominator

@@ -1,0 +1,31 @@
+"""Parameter sweeps: run one experiment body across a parameter range."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Tuple
+
+__all__ = ["sweep", "cross"]
+
+
+def sweep(values: Iterable[Any], run: Callable[[Any], Any]) -> List[Tuple[Any, Any]]:
+    """Run ``run(value)`` for each value, collecting (value, result)."""
+    return [(value, run(value)) for value in values]
+
+
+def cross(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named parameter axes as kwargs dicts.
+
+    ``cross(a=[1, 2], b=["x"])`` yields ``[{'a': 1, 'b': 'x'},
+    {'a': 2, 'b': 'x'}]`` in deterministic (sorted-key) order.
+    """
+    names = sorted(axes)
+    combos: List[Dict[str, Any]] = [{}]
+    for name in names:
+        expanded = []
+        for combo in combos:
+            for value in axes[name]:
+                item = dict(combo)
+                item[name] = value
+                expanded.append(item)
+        combos = expanded
+    return combos

@@ -1,0 +1,30 @@
+"""Cluster substrate: nodes, interference, parallel sort, DHT, interactive.
+
+* :mod:`repro.cluster.node` -- CPU/memory/disk nodes.
+* :mod:`repro.cluster.interference` -- CPU and memory hogs (Section 2.2.2).
+* :mod:`repro.cluster.sort` -- NOW-Sort-style parallel sort under four
+  scheduling policies.
+* :mod:`repro.cluster.dht` -- replicated DHT with GC-pause bottlenecks.
+* :mod:`repro.cluster.interactive` -- interactive jobs vs. memory hogs.
+"""
+
+from .dht import DhtStats, ReplicatedDht
+from .interactive import InteractiveJob, InteractiveResult
+from .interference import CpuHog, MemoryHog
+from .node import Memory, Node
+from .sort import SortConfig, SortResult, make_sort_cluster, run_sort
+
+__all__ = [
+    "Node",
+    "Memory",
+    "CpuHog",
+    "MemoryHog",
+    "InteractiveJob",
+    "InteractiveResult",
+    "SortConfig",
+    "SortResult",
+    "run_sort",
+    "make_sort_cluster",
+    "ReplicatedDht",
+    "DhtStats",
+]

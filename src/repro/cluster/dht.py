@@ -1,0 +1,152 @@
+"""A replicated distributed hash table with GC pauses (Gribble, E12).
+
+Section 2.2.1: "untimely garbage collection causes one node to fall
+behind its mirror in a replicated update.  The result is that one
+machine over-saturates and thus is the bottleneck."
+
+:class:`ReplicatedDht` stores keys on mirror pairs of storage "bricks".
+A put is acknowledged only when *both* members have applied it, so a
+brick stalled in GC holds every put to its pair hostage -- the mirror
+has done its work and sits on a growing queue of unacknowledged
+updates.
+
+Two placement policies:
+
+* ``hash`` -- keys are hashed to a fixed pair (the deployed system);
+* ``adaptive`` -- *new* keys are placed on the least-backlogged pair and
+  remembered in a key map (fail-stutter placement; existing keys cannot
+  move, which bounds how much adaptation can recover -- exactly the
+  bookkeeping-vs-robustness trade-off of Section 3.2's third scenario).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..faults.component import DegradableServer
+from ..faults.model import ComponentStopped
+from ..sim.engine import Process, Simulator
+
+__all__ = ["ReplicatedDht", "DhtStats"]
+
+
+@dataclass
+class DhtStats:
+    """Operation counters for one DHT instance."""
+
+    puts: int = 0
+    gets: int = 0
+    new_keys: int = 0
+
+
+class ReplicatedDht:
+    """Mirror-pair replicated key-value bricks."""
+
+    PLACEMENTS = ("hash", "adaptive")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_pairs: int = 4,
+        brick_rate: float = 100.0,
+        op_work: float = 1.0,
+        placement: str = "hash",
+    ):
+        if n_pairs < 1:
+            raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
+        if brick_rate <= 0 or op_work <= 0:
+            raise ValueError("rates and work must be > 0")
+        if placement not in self.PLACEMENTS:
+            raise ValueError(f"placement must be one of {self.PLACEMENTS}")
+        self.sim = sim
+        self.n_pairs = n_pairs
+        self.op_work = op_work
+        self.placement = placement
+        self.bricks: List[DegradableServer] = [
+            DegradableServer(sim, f"brick{i}", brick_rate) for i in range(2 * n_pairs)
+        ]
+        self._key_map: Dict[str, int] = {}
+        self._values: Dict[str, object] = {}
+        self.stats = DhtStats()
+
+    # -- placement ------------------------------------------------------------
+
+    def pair_members(self, pair: int) -> Tuple[DegradableServer, DegradableServer]:
+        """The two bricks mirroring pair ``pair``."""
+        return self.bricks[2 * pair], self.bricks[2 * pair + 1]
+
+    @staticmethod
+    def _hash_pair(key: str, n_pairs: int) -> int:
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % n_pairs
+
+    def _pair_backlog(self, pair: int) -> int:
+        a, b = self.pair_members(pair)
+        return max(
+            a.queue_length + (1 if a.busy else 0),
+            b.queue_length + (1 if b.busy else 0),
+        )
+
+    def place(self, key: str) -> int:
+        """Pair index for ``key`` under the configured placement."""
+        if self.placement == "hash":
+            return self._hash_pair(key, self.n_pairs)
+        known = self._key_map.get(key)
+        if known is not None:
+            return known
+        pair = min(range(self.n_pairs), key=lambda p: (self._pair_backlog(p), p))
+        self._key_map[key] = pair
+        self.stats.new_keys += 1
+        return pair
+
+    @property
+    def bookkeeping_entries(self) -> int:
+        """Size of the adaptive key map (0 under hash placement)."""
+        return len(self._key_map)
+
+    # -- operations ---------------------------------------------------------------
+
+    def put(self, key: str, value: object = None) -> Process:
+        """Replicated write; the process returns the put latency."""
+        pair = self.place(key)
+        a, b = self.pair_members(pair)
+        self.stats.puts += 1
+
+        def go():
+            start = self.sim.now
+            if a.stopped and b.stopped:
+                raise ComponentStopped(f"pair{pair}")
+            writes = [
+                member.submit(self.op_work)
+                for member in (a, b)
+                if not member.stopped
+            ]
+            yield self.sim.all_of(writes)
+            self._values[key] = value
+            return self.sim.now - start
+
+        return self.sim.process(go())
+
+    def get(self, key: str) -> Process:
+        """Read from the less-backlogged live mirror; returns the value."""
+        pair = self.place(key)
+        a, b = self.pair_members(pair)
+        self.stats.gets += 1
+
+        def go():
+            live = [m for m in (a, b) if not m.stopped]
+            if not live:
+                raise ComponentStopped(f"pair{pair}")
+            member = min(live, key=lambda m: m.queue_length)
+            yield member.submit(self.op_work)
+            return self._values.get(key)
+
+        return self.sim.process(go())
+
+    def pair_of(self, key: str) -> Optional[int]:
+        """Where ``key`` currently lives (None if never placed adaptively)."""
+        if self.placement == "hash":
+            return self._hash_pair(key, self.n_pairs)
+        return self._key_map.get(key)

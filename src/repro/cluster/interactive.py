@@ -1,0 +1,112 @@
+"""Interactive jobs competing with memory hogs (Brown & Mowry, E10).
+
+The victim is an interactive job with a working set.  While the working
+set fits in the memory left over by other reservations, each operation
+costs only its CPU time.  When a memory hog pushes part of the working
+set out, every operation must page the missing megabytes back in from
+disk at random-I/O rates before it can run -- the mechanism behind the
+paper's "up to 40 times worse" response times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim.engine import Process, Simulator
+from .node import Node
+
+__all__ = ["InteractiveJob", "InteractiveResult"]
+
+
+@dataclass(frozen=True)
+class InteractiveResult:
+    """Response-time record of an interactive session."""
+
+    response_times: tuple
+
+    @property
+    def mean(self) -> float:
+        """Mean response time."""
+        return sum(self.response_times) / len(self.response_times)
+
+    @property
+    def worst(self) -> float:
+        """Worst response time."""
+        return max(self.response_times)
+
+
+class InteractiveJob:
+    """A think-compute loop whose working set may be paged out.
+
+    Parameters
+    ----------
+    working_set_mb:
+        Memory the job touches on every operation.
+    op_cpu_mb:
+        CPU work (MB processed) per operation.
+    page_in_rate:
+        MB/s at which evicted pages come back (random-I/O rate -- far
+        below the disk's sequential bandwidth).
+    think_time:
+        Idle gap between operations.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        working_set_mb: float = 64.0,
+        op_cpu_mb: float = 1.0,
+        page_in_rate: float = 5.0,
+        think_time: float = 0.5,
+        owner: str = "interactive",
+    ):
+        if working_set_mb <= 0:
+            raise ValueError(f"working_set_mb must be > 0, got {working_set_mb}")
+        if op_cpu_mb <= 0:
+            raise ValueError(f"op_cpu_mb must be > 0, got {op_cpu_mb}")
+        if page_in_rate <= 0:
+            raise ValueError(f"page_in_rate must be > 0, got {page_in_rate}")
+        if think_time < 0:
+            raise ValueError(f"think_time must be >= 0, got {think_time}")
+        self.sim = sim
+        self.node = node
+        self.working_set_mb = working_set_mb
+        self.op_cpu_mb = op_cpu_mb
+        self.page_in_rate = page_in_rate
+        self.think_time = think_time
+        self.owner = owner
+
+    def resident_mb(self) -> float:
+        """How much of the working set currently fits in memory."""
+        return min(self.working_set_mb, self.node.memory.available(excluding=self.owner))
+
+    def missing_mb(self) -> float:
+        """Working-set megabytes that must be paged in per operation."""
+        return self.working_set_mb - self.resident_mb()
+
+    def run(self, n_ops: int) -> Process:
+        """Perform ``n_ops``; the process returns an InteractiveResult."""
+        if n_ops < 1:
+            raise ValueError(f"n_ops must be >= 1, got {n_ops}")
+
+        def go():
+            times: List[float] = []
+            self.node.memory.reserve(self.owner, self.resident_mb())
+            for i in range(n_ops):
+                start = self.sim.now
+                # Re-evaluate residency each op: the hog may come and go.
+                resident = self.resident_mb()
+                self.node.memory.reserve(self.owner, resident)
+                missing = self.working_set_mb - resident
+                if missing > 0:
+                    yield self.sim.timeout(missing / self.page_in_rate)
+                yield self.node.compute(self.op_cpu_mb)
+                times.append(self.sim.now - start)
+                if self.think_time > 0 and i + 1 < n_ops:
+                    yield self.sim.timeout(self.think_time)
+            self.node.memory.release(self.owner)
+            return InteractiveResult(response_times=tuple(times))
+
+        return self.sim.process(go())

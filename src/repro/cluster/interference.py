@@ -1,0 +1,71 @@
+"""Interference from competing applications (Section 2.2.2).
+
+* :class:`CpuHog` -- "a node with excess CPU load reduces global sorting
+  performance by a factor of two" (NOW-Sort).  Claims a share of a
+  node's CPU for some interval.
+* :class:`MemoryHog` -- Brown & Mowry's out-of-core application: "the
+  response time of the interactive job is shown to be up to 40 times
+  worse when competing with a memory-intensive process."  Claims
+  resident memory, pushing victims' working sets out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..faults.library import InterferenceLoad
+from ..sim.engine import Simulator
+from .node import Node
+
+__all__ = ["CpuHog", "MemoryHog"]
+
+
+class CpuHog:
+    """A competing process stealing CPU cycles on one node."""
+
+    def __init__(self, share: float, at: float = 0.0, duration: Optional[float] = None):
+        # Validation delegated to InterferenceLoad.
+        self._injector = InterferenceLoad(share=share, at=at, duration=duration)
+        self.share = share
+        self.at = at
+        self.duration = duration
+
+    def attach(self, sim: Simulator, node: Node) -> None:
+        """Start the hog against ``node``'s CPU."""
+        self._injector.attach(sim, node.cpu)
+
+
+class MemoryHog:
+    """A competing process claiming resident memory on one node."""
+
+    def __init__(
+        self,
+        resident_mb: float,
+        at: float = 0.0,
+        duration: Optional[float] = None,
+        owner: str = "memory-hog",
+    ):
+        if resident_mb <= 0:
+            raise ValueError(f"resident_mb must be > 0, got {resident_mb}")
+        if at < 0:
+            raise ValueError(f"at must be >= 0, got {at}")
+        if duration is not None and duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        self.resident_mb = resident_mb
+        self.at = at
+        self.duration = duration
+        self.owner = owner
+
+    def attach(self, sim: Simulator, node: Node) -> None:
+        """Start the hog against ``node``'s memory."""
+
+        def run():
+            if self.at > 0:
+                yield sim.timeout(self.at)
+            node.memory.reserve(self.owner, self.resident_mb)
+            if self.duration is None:
+                return
+            yield sim.timeout(self.duration)
+            node.memory.release(self.owner)
+
+        sim.process(run())

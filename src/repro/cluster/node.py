@@ -1,0 +1,94 @@
+"""Cluster nodes: CPU, memory, and an optional local disk.
+
+A :class:`Node` bundles the resources the Section 2.2 evidence involves:
+a degradable CPU (work unit: MB processed), a :class:`Memory` with named
+reservations (so memory hogs and victim working sets can be accounted
+against each other), and optionally a local :class:`~repro.storage.disk.Disk`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..faults.component import DegradableServer
+from ..sim.engine import Event, Simulator
+from ..storage.disk import Disk
+
+__all__ = ["Memory", "Node"]
+
+
+class Memory:
+    """Physical memory with named reservations.
+
+    Reservations may overcommit (that is the point: a memory hog pushes
+    the victim's working set out); :meth:`available` never goes below
+    zero.
+    """
+
+    def __init__(self, total_mb: float):
+        if total_mb <= 0:
+            raise ValueError(f"total_mb must be > 0, got {total_mb}")
+        self.total_mb = float(total_mb)
+        self._reservations: Dict[str, float] = {}
+
+    def reserve(self, owner: str, mb: float) -> None:
+        """Set ``owner``'s resident claim to ``mb`` (replaces any prior)."""
+        if mb < 0:
+            raise ValueError(f"mb must be >= 0, got {mb}")
+        self._reservations[owner] = mb
+
+    def release(self, owner: str) -> None:
+        """Drop ``owner``'s claim entirely (no-op if absent)."""
+        self._reservations.pop(owner, None)
+
+    def reserved(self, owner: Optional[str] = None) -> float:
+        """Total reserved MB, or one owner's claim."""
+        if owner is not None:
+            return self._reservations.get(owner, 0.0)
+        return sum(self._reservations.values())
+
+    def available(self, excluding: Optional[str] = None) -> float:
+        """MB left for a (possibly new) claimant.
+
+        ``excluding`` ignores one owner's existing claim -- used when that
+        owner asks "how much could *I* keep resident".
+        """
+        used = sum(
+            mb for owner, mb in self._reservations.items() if owner != excluding
+        )
+        return max(0.0, self.total_mb - used)
+
+    @property
+    def pressure(self) -> float:
+        """Reserved over total; above 1.0 means overcommitted."""
+        return self.reserved() / self.total_mb
+
+
+class Node:
+    """One cluster node: CPU + memory (+ optional local disk)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cpu_rate: float = 20.0,
+        memory_mb: float = 512.0,
+        disk: Optional[Disk] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.cpu = DegradableServer(sim, f"{name}.cpu", cpu_rate)
+        self.memory = Memory(memory_mb)
+        self.disk = disk
+
+    def compute(self, mb: float) -> Event:
+        """Process ``mb`` of data on the CPU; fires with JobStats."""
+        return self.cpu.submit(mb)
+
+    @property
+    def stopped(self) -> bool:
+        """True when the node's CPU has fail-stopped."""
+        return self.cpu.stopped
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} cpu={self.cpu.effective_rate:.3g} MB/s>"

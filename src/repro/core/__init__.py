@@ -1,0 +1,87 @@
+"""The paper's contribution: fail-stutter fault tolerance mechanisms.
+
+* :mod:`repro.core.estimator` -- online service-rate estimation.
+* :mod:`repro.core.detection` -- performance-fault detectors and the
+  correctness watchdog (threshold *T*).
+* :mod:`repro.core.registry` -- the performance-state export with
+  notification policies.
+* :mod:`repro.core.allocation` -- static and proportional allocation.
+* :mod:`repro.core.pull` -- pull-based (River-style) scheduling.
+* :mod:`repro.core.hedging` -- Shasha & Turek slow-down tolerance via
+  duplicated tasks.
+* :mod:`repro.core.aimd` -- TCP-style rate adaptation.
+* :mod:`repro.core.system` -- the assembled FailStutterSystem and
+  routing policies.
+"""
+
+from .aimd import AimdController, AimdResult, AimdSender
+from .allocation import Allocator, ProportionalAllocator, StaticAllocator, apportion
+from .detection import (
+    CorrectnessWatchdog,
+    Detector,
+    EwmaDetector,
+    PeerComparisonDetector,
+    ThresholdDetector,
+)
+from .estimator import EwmaRateEstimator, RateEstimator, WindowedRateEstimator
+from .formal import (
+    FailStutterAutomaton,
+    FsEvent,
+    FsState,
+    Violation,
+    check_trace,
+    trace_of,
+)
+from .hedging import HedgeResult, HedgingScheduler
+from .prediction import PredictionOutcome, StutterTrendPredictor, score_predictions
+from .pull import PullScheduler, ScheduleResult
+from .registry import NotificationPolicy, PerformanceStateRegistry, StateReport
+from .river import DistributedQueue, DqResult
+from .system import (
+    FailStutterSystem,
+    JsqRouter,
+    RoundRobinRouter,
+    Router,
+    WeightedRouter,
+)
+
+__all__ = [
+    "RateEstimator",
+    "WindowedRateEstimator",
+    "EwmaRateEstimator",
+    "Detector",
+    "ThresholdDetector",
+    "EwmaDetector",
+    "PeerComparisonDetector",
+    "CorrectnessWatchdog",
+    "NotificationPolicy",
+    "PerformanceStateRegistry",
+    "StateReport",
+    "Allocator",
+    "StaticAllocator",
+    "ProportionalAllocator",
+    "apportion",
+    "PullScheduler",
+    "ScheduleResult",
+    "DistributedQueue",
+    "DqResult",
+    "HedgingScheduler",
+    "HedgeResult",
+    "StutterTrendPredictor",
+    "PredictionOutcome",
+    "score_predictions",
+    "FailStutterAutomaton",
+    "FsEvent",
+    "FsState",
+    "Violation",
+    "check_trace",
+    "trace_of",
+    "AimdController",
+    "AimdSender",
+    "AimdResult",
+    "Router",
+    "RoundRobinRouter",
+    "JsqRouter",
+    "WeightedRouter",
+    "FailStutterSystem",
+]

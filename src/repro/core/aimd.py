@@ -1,0 +1,163 @@
+"""Additive-increase / multiplicative-decrease rate adaptation.
+
+Section 4: "The networking literature is replete with examples of
+adaptation and design for variable performance, with the prime example
+of TCP.  We believe that similar techniques will need to be employed in
+the development of adaptive, fail-stutter fault-tolerant algorithms."
+
+:class:`AimdController` is the Jacobson control law extracted from TCP:
+probe for capacity additively, back off multiplicatively on congestion.
+:class:`AimdSender` drives a degradable server with it, turning the
+control law into an adaptive data pump whose offered rate converges to
+whatever the (possibly performance-faulty) component can actually serve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..faults.component import DegradableServer
+from ..sim.engine import Process, Simulator
+
+__all__ = ["AimdController", "AimdSender", "AimdResult"]
+
+
+class AimdController:
+    """The AIMD control law.
+
+    ``on_success()`` raises the rate by ``increase`` (additive);
+    ``on_congestion()`` multiplies it by ``decrease`` (< 1).  The rate is
+    clamped to ``[min_rate, max_rate]``.
+    """
+
+    def __init__(
+        self,
+        initial_rate: float = 1.0,
+        increase: float = 0.5,
+        decrease: float = 0.5,
+        min_rate: float = 0.1,
+        max_rate: float = float("inf"),
+    ):
+        if initial_rate <= 0:
+            raise ValueError(f"initial_rate must be > 0, got {initial_rate}")
+        if increase <= 0:
+            raise ValueError(f"increase must be > 0, got {increase}")
+        if not 0.0 < decrease < 1.0:
+            raise ValueError(f"decrease must be in (0, 1), got {decrease}")
+        if min_rate <= 0 or min_rate > initial_rate:
+            raise ValueError("need 0 < min_rate <= initial_rate")
+        if max_rate < initial_rate:
+            raise ValueError("need max_rate >= initial_rate")
+        self._rate = initial_rate
+        self.increase = increase
+        self.decrease = decrease
+        self.min_rate = min_rate
+        self.max_rate = max_rate
+        self.successes = 0
+        self.congestions = 0
+
+    @property
+    def rate(self) -> float:
+        """Current offered rate."""
+        return self._rate
+
+    def on_success(self) -> float:
+        """Additive increase after a timely completion."""
+        self.successes += 1
+        self._rate = min(self.max_rate, self._rate + self.increase)
+        return self._rate
+
+    def on_congestion(self) -> float:
+        """Multiplicative decrease after a late/lost completion."""
+        self.congestions += 1
+        self._rate = max(self.min_rate, self._rate * self.decrease)
+        return self._rate
+
+
+@dataclass(frozen=True)
+class AimdResult:
+    """Outcome of an :class:`AimdSender` run."""
+
+    sent_mb: float
+    duration: float
+    rate_trace: Tuple[Tuple[float, float], ...]  # (time, offered rate)
+    congestions: int
+
+    @property
+    def throughput_mb_s(self) -> float:
+        """Delivered MB/s over the run."""
+        if self.duration <= 0:
+            return float("inf")
+        return self.sent_mb / self.duration
+
+
+class AimdSender:
+    """Streams data into a degradable server under AIMD control.
+
+    Each chunk is declared *congested* if its response time exceeds
+    ``rtt_budget`` (queueing at the server means the offered rate is above
+    the service rate).  The offered rate then backs off; otherwise it
+    creeps up.  Against a component whose service rate stutters, the
+    sender tracks the available capacity instead of collapsing the queue.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: DegradableServer,
+        controller: Optional[AimdController] = None,
+        chunk_mb: float = 1.0,
+        rtt_budget: Optional[float] = None,
+    ):
+        if chunk_mb <= 0:
+            raise ValueError(f"chunk_mb must be > 0, got {chunk_mb}")
+        self.sim = sim
+        self.target = target
+        self.controller = controller or AimdController(
+            initial_rate=target.nominal_rate / 2,
+            increase=target.nominal_rate * 0.05,
+            min_rate=target.nominal_rate * 0.01,
+        )
+        self.chunk_mb = chunk_mb
+        # Default budget: twice the nominal chunk service time.
+        self.rtt_budget = (
+            rtt_budget
+            if rtt_budget is not None
+            else 2.0 * chunk_mb / target.nominal_rate
+        )
+        if self.rtt_budget <= 0:
+            raise ValueError("rtt_budget must be > 0")
+
+    def send(self, total_mb: float) -> Process:
+        """Stream ``total_mb``; the process returns an :class:`AimdResult`."""
+        if total_mb <= 0:
+            raise ValueError(f"total_mb must be > 0, got {total_mb}")
+
+        def go():
+            start = self.sim.now
+            sent = 0.0
+            trace: List[Tuple[float, float]] = [(self.sim.now, self.controller.rate)]
+            while sent < total_mb - 1e-12:
+                size = min(self.chunk_mb, total_mb - sent)
+                issued = self.sim.now
+                done = self.target.submit(size)
+                # Pace the next send at the offered rate; the completion
+                # may lag behind (that lag is the congestion signal).
+                pace = self.sim.timeout(size / self.controller.rate)
+                stats = yield done
+                yield pace
+                sent += size
+                if stats.response_time > self.rtt_budget:
+                    self.controller.on_congestion()
+                else:
+                    self.controller.on_success()
+                trace.append((self.sim.now, self.controller.rate))
+            return AimdResult(
+                sent_mb=sent,
+                duration=self.sim.now - start,
+                rate_trace=tuple(trace),
+                congestions=self.controller.congestions,
+            )
+
+        return self.sim.process(go())

@@ -1,0 +1,101 @@
+"""Online service-rate estimators.
+
+Adaptive fail-stutter policies need a current estimate of each
+component's delivered rate.  Estimators consume ``(work, duration)``
+completion observations and expose a rate; the choice of estimator is a
+real design decision (window length trades detection latency against
+false positives -- the A3 ablation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+__all__ = ["RateEstimator", "WindowedRateEstimator", "EwmaRateEstimator"]
+
+
+class RateEstimator:
+    """Interface: feed completions, read a rate estimate."""
+
+    def observe(self, work: float, duration: float) -> None:
+        """Record that ``work`` units completed in ``duration`` seconds."""
+        raise NotImplementedError
+
+    def rate(self) -> Optional[float]:
+        """Current estimate (work units / second), or None if no data."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all history."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(work: float, duration: float) -> None:
+        if work <= 0:
+            raise ValueError(f"work must be > 0, got {work}")
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+
+
+class WindowedRateEstimator(RateEstimator):
+    """Mean rate over the last ``window`` completions.
+
+    The estimate is total work over total duration in the window -- a
+    work-weighted harmonic view, so one large slow request counts as much
+    as it should.
+    """
+
+    def __init__(self, window: int = 8):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=window)
+
+    def observe(self, work: float, duration: float) -> None:
+        self._validate(work, duration)
+        self._samples.append((work, duration))
+
+    def rate(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        total_work = sum(w for w, __ in self._samples)
+        total_time = sum(d for __, d in self._samples)
+        if total_time <= 0:
+            return float("inf")
+        return total_work / total_time
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class EwmaRateEstimator(RateEstimator):
+    """Exponentially weighted moving average of per-completion rates.
+
+    ``alpha`` is the weight of the newest observation.  Smaller alpha
+    smooths transient stutters away (fewer false positives, slower
+    detection); larger alpha reacts quickly.
+    """
+
+    def __init__(self, alpha: float = 0.25):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._estimate: Optional[float] = None
+
+    def observe(self, work: float, duration: float) -> None:
+        self._validate(work, duration)
+        sample = float("inf") if duration == 0 else work / duration
+        if self._estimate is None:
+            self._estimate = sample
+        else:
+            self._estimate = self.alpha * sample + (1 - self.alpha) * self._estimate
+
+    def rate(self) -> Optional[float]:
+        return self._estimate
+
+    def reset(self) -> None:
+        self._estimate = None

@@ -1,0 +1,157 @@
+"""A small formalization of the fail-stutter model (Section 5).
+
+"Many challenges remain.  The fail-stutter model must be formalized..."
+
+This module gives the model an executable formal core:
+
+* :class:`FailStutterAutomaton` -- the legal state machine of one
+  component: ``OK`` and ``DEGRADED`` interleave freely through
+  performance-fault episodes; ``STOPPED`` is absorbing (Schneider's
+  halt-and-stay-halted); observable performance is positive unless
+  stopped.
+* :func:`check_trace` -- validates an observed event trace against the
+  automaton, returning every violation (none, for any component built on
+  :class:`~repro.faults.model.DegradableMixin` -- this is property-tested).
+* :func:`trace_of` -- extracts the canonical event trace from a real
+  component's fault log, bridging the simulation world and the formal one.
+
+The point is the paper's: once the model is written down precisely, the
+claim "this component is fail-stutter" becomes checkable, for simulated
+components here and (in principle) for logged traces of real devices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..faults.model import CorrectnessFault, DegradableMixin, PerformanceFault
+
+__all__ = [
+    "FsEvent",
+    "FsState",
+    "FailStutterAutomaton",
+    "Violation",
+    "check_trace",
+    "trace_of",
+]
+
+
+class FsEvent(enum.Enum):
+    """The observable event alphabet of one component."""
+
+    DEGRADE = "degrade"  # a performance-fault episode begins
+    RECOVER = "recover"  # an episode ends
+    STOP = "stop"  # absolute (correctness) fault
+
+
+class FsState(enum.Enum):
+    """Automaton states."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One way a trace broke the model."""
+
+    index: int
+    event: Tuple
+    reason: str
+
+
+class FailStutterAutomaton:
+    """The legal transition structure of the fail-stutter model.
+
+    Tracks the number of open performance-fault episodes (distinct
+    sources may degrade independently), so DEGRADE/RECOVER must be
+    balanced like parentheses; STOP is final.
+    """
+
+    def __init__(self):
+        self.state = FsState.OK
+        self.open_episodes = 0
+
+    def step(self, event: FsEvent) -> bool:
+        """Apply one event; returns False if it was illegal."""
+        if self.state is FsState.STOPPED:
+            return False  # nothing is observable after a halt
+        if event is FsEvent.DEGRADE:
+            self.open_episodes += 1
+            self.state = FsState.DEGRADED
+            return True
+        if event is FsEvent.RECOVER:
+            if self.open_episodes == 0:
+                return False  # recovery without a matching degrade
+            self.open_episodes -= 1
+            if self.open_episodes == 0:
+                self.state = FsState.OK
+            return True
+        # STOP
+        self.state = FsState.STOPPED
+        self.open_episodes = 0
+        return True
+
+    @property
+    def accepting(self) -> bool:
+        """True when the trace so far is a complete, legal history.
+
+        Complete means no dangling episodes (a still-degraded component
+        is legal but its history is not yet closed), or stopped.
+        """
+        return self.state is FsState.STOPPED or self.open_episodes == 0
+
+
+def check_trace(events: Sequence[Tuple[float, FsEvent]]) -> List[Violation]:
+    """Validate a timestamped event trace against the model.
+
+    Checks (a) automaton legality of each event, (b) nondecreasing
+    timestamps.  Returns all violations (empty list = conformant).
+    """
+    automaton = FailStutterAutomaton()
+    violations: List[Violation] = []
+    last_time = float("-inf")
+    for index, (time, event) in enumerate(events):
+        if time < last_time:
+            violations.append(
+                Violation(index, (time, event), "timestamps must be nondecreasing")
+            )
+        last_time = max(last_time, time)
+        if automaton.state is FsState.STOPPED:
+            violations.append(
+                Violation(index, (time, event), "event after STOP (halt must be final)")
+            )
+            continue
+        if not automaton.step(event):
+            violations.append(
+                Violation(index, (time, event), f"illegal {event.value} in state")
+            )
+    return violations
+
+
+def trace_of(component: DegradableMixin) -> List[Tuple[float, FsEvent]]:
+    """The canonical event trace of a simulated component's fault log.
+
+    Each closed :class:`PerformanceFault` episode contributes a
+    DEGRADE at its start and a RECOVER at its end; a
+    :class:`CorrectnessFault` contributes a final STOP.  Events are
+    returned in time order (RECOVER before a simultaneous DEGRADE, so
+    back-to-back episodes at one instant stay balanced; everything
+    before a simultaneous STOP).
+    """
+    events: List[Tuple[float, int, FsEvent]] = []
+    for record in component.fault_log:
+        if isinstance(record, PerformanceFault):
+            events.append((record.start, 1, FsEvent.DEGRADE))
+            if record.end is not None:
+                events.append((record.end, 0, FsEvent.RECOVER))
+        elif isinstance(record, CorrectnessFault):
+            events.append((record.time, 2, FsEvent.STOP))
+    # Open episodes (component currently degraded) appear via
+    # _open_episodes, which the fault log does not contain; the returned
+    # trace is the *closed* history, which the automaton accepts.
+    events.sort(key=lambda item: (item[0], item[1]))
+    return [(time, event) for time, __, event in events]

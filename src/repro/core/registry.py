@@ -1,0 +1,169 @@
+"""The performance-state registry.
+
+Section 3.1 ("Notification of other components"): the paper argues that
+*not* every performance fault should be broadcast -- "erratic performance
+may occur quite frequently, and thus distributing that information may be
+overly expensive" -- but "if a component is persistently
+performance-faulty, it may be useful for a system to export information
+about component 'performance state', allowing agents within the system
+to readily learn of and react to these performance-faulty constituents."
+
+:class:`PerformanceStateRegistry` is that export.  Detectors (or any
+observer) report per-component states; subscribers receive notifications
+according to the configured :class:`NotificationPolicy`:
+
+* ``IMMEDIATE`` -- every state change is pushed (maximal freshness,
+  maximal traffic).
+* ``PERSISTENT_ONLY`` -- a degradation is pushed only after it has
+  persisted for ``persistence_time``; recoveries and fail-stops push
+  immediately.  This is the paper's recommendation.
+* ``NONE`` -- nothing is pushed; agents must poll.
+
+Ablation A1 measures the traffic/adaptation-lag trade-off among these.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..faults.model import ComponentState
+from ..sim.engine import Simulator
+
+__all__ = ["NotificationPolicy", "StateReport", "PerformanceStateRegistry"]
+
+
+class NotificationPolicy(enum.Enum):
+    """When the registry pushes state changes to subscribers."""
+
+    IMMEDIATE = "immediate"
+    PERSISTENT_ONLY = "persistent-only"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class StateReport:
+    """A component's performance state as known to the registry."""
+
+    component: str
+    state: ComponentState
+    factor: float  # estimated fraction of spec performance (1.0 = at spec)
+    since: float  # sim time the state was first reported
+
+
+class PerformanceStateRegistry:
+    """Shared map from component name to performance state.
+
+    Anyone may :meth:`report`; anyone may :meth:`subscribe` or poll via
+    :meth:`get` / :meth:`degraded_components`.  ``notifications_sent``
+    counts pushed messages -- the overhead metric for ablation A1.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: NotificationPolicy = NotificationPolicy.PERSISTENT_ONLY,
+        persistence_time: float = 5.0,
+    ):
+        if persistence_time < 0:
+            raise ValueError(f"persistence_time must be >= 0, got {persistence_time}")
+        self.sim = sim
+        self.policy = policy
+        self.persistence_time = persistence_time
+        self._states: Dict[str, StateReport] = {}
+        self._subscribers: List[Callable[[StateReport], None]] = []
+        self._pending_push: Dict[str, int] = {}  # component -> push token
+        self._announced: Dict[str, ComponentState] = {}  # last pushed state
+        self.notifications_sent = 0
+        self.reports_received = 0
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self, component: str, state: ComponentState, factor: float = 1.0) -> None:
+        """Record ``component``'s current state, pushing per policy."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        self.reports_received += 1
+        previous = self._states.get(component)
+        if previous is not None and previous.state is state and previous.factor == factor:
+            return  # no change, nothing to do
+        since = (
+            previous.since
+            if previous is not None and previous.state is state
+            else self.sim.now
+        )
+        report = StateReport(component=component, state=state, factor=factor, since=since)
+        self._states[component] = report
+        self._maybe_push(report, changed_state=previous is None or previous.state is not state)
+
+    def _maybe_push(self, report: StateReport, changed_state: bool) -> None:
+        if self.policy is NotificationPolicy.NONE or not self._subscribers:
+            return
+        if self.policy is NotificationPolicy.IMMEDIATE:
+            self._push(report)
+            return
+        # PERSISTENT_ONLY: stops push now; recoveries push now but only
+        # if the degradation was actually announced (a transient fault
+        # nobody heard about needs no all-clear); degradations push only
+        # if still degraded after the persistence window.
+        if report.state is ComponentState.STOPPED:
+            if self._announced.get(report.component) is not ComponentState.STOPPED:
+                self._push(report)
+            return
+        if report.state is ComponentState.OK:
+            if self._announced.get(report.component) is ComponentState.DEGRADED:
+                self._push(report)
+            return
+        token = self._pending_push.get(report.component, 0) + 1
+        self._pending_push[report.component] = token
+
+        def check_persistence():
+            yield self.sim.timeout(self.persistence_time)
+            if self._pending_push.get(report.component) != token:
+                return  # superseded by a newer report
+            current = self._states.get(report.component)
+            if current is not None and current.state is ComponentState.DEGRADED:
+                self._push(current)
+
+        self.sim.process(check_persistence())
+
+    def _push(self, report: StateReport) -> None:
+        self._announced[report.component] = report.state
+        for subscriber in self._subscribers:
+            self.notifications_sent += 1
+            subscriber(report)
+
+    # -- queries ---------------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[StateReport], None]) -> None:
+        """Register for pushed state changes (per the policy)."""
+        self._subscribers.append(callback)
+
+    def get(self, component: str) -> Optional[StateReport]:
+        """Poll one component's last known state."""
+        return self._states.get(component)
+
+    def degraded_components(self) -> List[str]:
+        """Names currently reported DEGRADED."""
+        return sorted(
+            name
+            for name, rep in self._states.items()
+            if rep.state is ComponentState.DEGRADED
+        )
+
+    def stopped_components(self) -> List[str]:
+        """Names currently reported STOPPED."""
+        return sorted(
+            name
+            for name, rep in self._states.items()
+            if rep.state is ComponentState.STOPPED
+        )
+
+    def factor_of(self, component: str, default: float = 1.0) -> float:
+        """Estimated performance factor for ``component``."""
+        report = self._states.get(component)
+        return report.factor if report is not None else default
+
+    def __contains__(self, component: str) -> bool:
+        return component in self._states

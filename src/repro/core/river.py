@@ -1,0 +1,155 @@
+"""River-style distributed queue (Section 4, related work).
+
+River is the authors' own answer to erratic performance: "a programming
+environment that provides mechanisms to enable consistent and high
+performance in spite of erratic performance in underlying components."
+Its core mechanism is the *distributed queue* (DQ): producers push
+records into a queue that routes each record to whichever consumer has
+credit, so data flows at the rate each consumer can actually absorb --
+no specs, no gauging, no reconfiguration.
+
+:class:`DistributedQueue` implements that routing next to the strawman
+it displaced (static hash partitioning).  Experiment E22 reproduces the
+River robustness shape: under a perturbed consumer, hash partitioning
+tracks the slow consumer while the DQ degrades gracefully in proportion
+to lost capacity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from ..faults.component import DegradableServer
+from ..sim.engine import Event, Process, Simulator
+
+__all__ = ["DistributedQueue", "DqResult"]
+
+
+@dataclass
+class DqResult:
+    """Outcome of draining one record set through a queue."""
+
+    records: int
+    started_at: float
+    finished_at: float
+    per_consumer: List[int]
+
+    @property
+    def duration(self) -> float:
+        """Time from first put to last consumption."""
+        return self.finished_at - self.started_at
+
+    @property
+    def throughput(self) -> float:
+        """Records consumed per unit time."""
+        if self.duration <= 0:
+            return float("inf")
+        return self.records / self.duration
+
+
+class DistributedQueue:
+    """Routes records to consumers by credit or by static hash.
+
+    ``policy="credit"`` is the River DQ: each record goes to the consumer
+    with the smallest backlog (queued + in-service records), so fast
+    consumers drain more and a stalled consumer strands only its backlog
+    bound.  ``policy="hash"`` pins each record to ``hash(key) % n`` --
+    the static partitioning River replaced.
+
+    ``max_backlog`` bounds any single consumer's queue under the credit
+    policy (the DQ's flow control); ``None`` leaves it unbounded.
+    """
+
+    POLICIES = ("credit", "hash")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        consumers: Sequence[DegradableServer],
+        record_work: float = 1.0,
+        policy: str = "credit",
+        max_backlog: Optional[int] = None,
+    ):
+        if not consumers:
+            raise ValueError("need at least one consumer")
+        if record_work <= 0:
+            raise ValueError(f"record_work must be > 0, got {record_work}")
+        if policy not in self.POLICIES:
+            raise ValueError(f"policy must be one of {self.POLICIES}, got {policy!r}")
+        if max_backlog is not None and max_backlog < 1:
+            raise ValueError(f"max_backlog must be >= 1, got {max_backlog}")
+        self.sim = sim
+        self.consumers: List[DegradableServer] = list(consumers)
+        self.record_work = record_work
+        self.policy = policy
+        self.max_backlog = max_backlog
+        self.counts: List[int] = [0] * len(self.consumers)
+        self._waiters: List[Event] = []
+
+    def _backlog(self, index: int) -> int:
+        consumer = self.consumers[index]
+        return consumer.queue_length + (1 if consumer.busy else 0)
+
+    def _pick(self, key: Any) -> int:
+        if self.policy == "hash":
+            digest = hashlib.sha256(str(key).encode("utf-8")).digest()
+            return int.from_bytes(digest[:4], "big") % len(self.consumers)
+        live = [i for i, c in enumerate(self.consumers) if not c.stopped]
+        if not live:
+            raise RuntimeError("every consumer has fail-stopped")
+        return min(live, key=lambda i: (self._backlog(i), i))
+
+    def put(self, key: Any) -> Event:
+        """Route one record; the event fires when a consumer finishes it."""
+        index = self._pick(key)
+        self.counts[index] += 1
+        done = self.consumers[index].submit(self.record_work, tag=key)
+        done.callbacks.append(self._wake_waiters)
+        return done
+
+    def _wake_waiters(self, __: Event) -> None:
+        while self._waiters:
+            self._waiters.pop().succeed(None)
+
+    def credit_available(self) -> bool:
+        """True when some live consumer is under the backlog bound."""
+        if self.max_backlog is None:
+            return True
+        return any(
+            not c.stopped and self._backlog(i) < self.max_backlog
+            for i, c in enumerate(self.consumers)
+        )
+
+    def wait_for_credit(self) -> Event:
+        """Event firing when backpressure releases (immediate if open)."""
+        event = self.sim.event()
+        if self.credit_available():
+            event.succeed(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def drain(self, keys: Sequence[Any]) -> Process:
+        """Produce ``keys`` as fast as flow control allows; returns DqResult."""
+        if not keys:
+            raise ValueError("no records to drain")
+
+        def go():
+            start = self.sim.now
+            pending = []
+            for key in keys:
+                if self.max_backlog is not None:
+                    while not self.credit_available():
+                        yield self.wait_for_credit()
+                pending.append(self.put(key))
+            yield self.sim.all_of(pending)
+            return DqResult(
+                records=len(keys),
+                started_at=start,
+                finished_at=self.sim.now,
+                per_consumer=list(self.counts),
+            )
+
+        return self.sim.process(go())

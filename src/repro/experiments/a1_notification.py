@@ -1,0 +1,84 @@
+"""A1: notification policy -- traffic vs adaptation lag (Section 3.1).
+
+The paper: broadcasting every performance fault "may be overly
+expensive", but persistent faults should be exported.  Drive a registry
+with one flapping component and one persistently degraded component and
+measure, per policy: messages pushed, and how long the subscriber took
+to learn about the *persistent* fault (the adaptation lag; for the NONE
+policy the subscriber polls at a fixed interval).
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Table
+from ..core.registry import NotificationPolicy, PerformanceStateRegistry
+from ..faults.model import ComponentState
+from ..sim.engine import Simulator
+
+__all__ = ["run"]
+
+
+def _drive(policy: NotificationPolicy, persistence: float, poll_interval: float,
+           flap_period: float, persistent_at: float, horizon: float):
+    sim = Simulator()
+    registry = PerformanceStateRegistry(sim, policy=policy, persistence_time=persistence)
+    learned_at = []
+
+    def subscriber(report):
+        if report.component == "steady" and report.state is ComponentState.DEGRADED:
+            if not learned_at:
+                learned_at.append(sim.now)
+
+    registry.subscribe(subscriber)
+
+    if policy is NotificationPolicy.NONE:
+        def poller():
+            while not learned_at:
+                yield sim.timeout(poll_interval)
+                if "steady" in registry.degraded_components():
+                    learned_at.append(sim.now)
+
+        sim.process(poller())
+
+    def flapper():
+        while sim.now < horizon - flap_period:
+            registry.report("flappy", ComponentState.DEGRADED, 0.5)
+            yield sim.timeout(flap_period / 2)
+            registry.report("flappy", ComponentState.OK, 1.0)
+            yield sim.timeout(flap_period / 2)
+
+    def steady_fault():
+        yield sim.timeout(persistent_at)
+        registry.report("steady", ComponentState.DEGRADED, 0.3)
+
+    sim.process(flapper())
+    sim.process(steady_fault())
+    sim.run(until=horizon)
+    lag = (learned_at[0] - persistent_at) if learned_at else float("inf")
+    return registry.notifications_sent, lag
+
+
+def run(
+    persistence: float = 5.0,
+    poll_interval: float = 10.0,
+    flap_period: float = 2.0,
+    persistent_at: float = 20.0,
+    horizon: float = 120.0,
+) -> Table:
+    """Regenerate the A1 table: policy vs messages and adaptation lag."""
+    table = Table(
+        "A1: notification policy -- push traffic vs adaptation lag",
+        ["policy", "messages pushed", "lag to learn persistent fault (s)"],
+        note="paper: broadcast only persistent faults; transient stutters "
+        "are too frequent to distribute",
+    )
+    for policy in (
+        NotificationPolicy.IMMEDIATE,
+        NotificationPolicy.PERSISTENT_ONLY,
+        NotificationPolicy.NONE,
+    ):
+        sent, lag = _drive(
+            policy, persistence, poll_interval, flap_period, persistent_at, horizon
+        )
+        table.add_row(policy.value, sent, lag)
+    return table

@@ -1,0 +1,56 @@
+"""E2: striped storage tracks the single slowest disk (Section 1).
+
+"Striping and other RAID techniques perform well if every disk in the
+system delivers identical performance; however, if performance of a
+single disk is consistently lower than the rest, the performance of the
+entire storage system tracks that of the single, slow disk."
+
+Sweep the slow disk's rate factor and compare measured RAID-0 write
+throughput to the ``N * b`` track-the-slowest prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.report import Table
+from ..sim.engine import Simulator
+from ..storage.disk import Disk, DiskParams
+from ..storage.geometry import uniform_geometry
+from ..storage.raid import Raid0
+
+__all__ = ["run"]
+
+
+def _throughput(n_disks: int, rate: float, slow_factor: float, n_blocks: int) -> float:
+    sim = Simulator()
+    params = DiskParams(rpm=5400, avg_seek=0.011, block_size_mb=0.5)
+    disks = [
+        Disk(sim, f"d{i}", geometry=uniform_geometry(200_000, rate), params=params)
+        for i in range(n_disks)
+    ]
+    if slow_factor < 1.0:
+        disks[0].set_slowdown("skew", slow_factor)
+    raid = Raid0(sim, disks)
+    done = raid.write_all(range(n_blocks), value=1)
+    sim.run(until=done)
+    return n_blocks * params.block_size_mb / sim.now
+
+
+def run(
+    n_disks: int = 8,
+    rate: float = 5.5,
+    slow_factors: Sequence[float] = (1.0, 0.75, 0.5, 0.25, 0.1),
+    n_blocks: int = 512,
+) -> Table:
+    """Regenerate the E2 table: slow-disk factor vs array throughput."""
+    table = Table(
+        f"E2: RAID-0 over {n_disks} disks at {rate} MB/s, one disk degraded",
+        ["slow factor", "measured MB/s", "N*b prediction", "fraction of healthy"],
+        note="the whole array tracks the one slow disk",
+    )
+    healthy = _throughput(n_disks, rate, 1.0, n_blocks)
+    for factor in slow_factors:
+        measured = _throughput(n_disks, rate, factor, n_blocks)
+        table.add_row(factor, measured, n_disks * rate * factor, measured / healthy)
+    return table

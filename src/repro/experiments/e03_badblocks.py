@@ -1,0 +1,65 @@
+"""E3: transparent bad-block remapping shaves sequential bandwidth.
+
+Section 2.1.2: among otherwise identical 5400-RPM Seagate Hawks, "most
+of the disks deliver 5.5 MB/s on sequential reads, [but] one such disk
+delivered only 5.0 MB/s.  Because the lesser-performing disk had three
+times the block faults than other devices", bad-block remapping --
+invisible to users and file systems -- was the suspected cause.
+
+Sweep the remap rate (1x = the healthy farm's rate) and measure the
+sequential-read bandwidth of the resulting disk.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..analysis.report import Table
+from ..sim.engine import Simulator
+from ..storage.badblocks import BadBlockMap
+from ..storage.disk import Disk, DiskParams
+from ..storage.geometry import uniform_geometry
+from ..storage.workload import sequential_scan
+
+__all__ = ["run"]
+
+
+def _bandwidth(base_fault_rate: float, multiplier: float, seed: int, nblocks: int) -> float:
+    # 64 KB blocks: at streaming granularity a remap detour (out to the
+    # spare area and back, ~2 positioning times) costs about 3x a block
+    # transfer, which is what lets percent-level remap rates shave
+    # visible bandwidth, as on the real Hawks.
+    sim = Simulator()
+    params = DiskParams(rpm=5400, avg_seek=0.011, block_size_mb=0.064, remap_penalty=0.033)
+    badblocks = BadBlockMap.random(
+        200_000, base_fault_rate * multiplier, random.Random(seed)
+    )
+    disk = Disk(
+        sim,
+        "hawk",
+        geometry=uniform_geometry(200_000, 5.5),
+        params=params,
+        badblocks=badblocks,
+    )
+    result = sim.run(until=sequential_scan(sim, disk, nblocks=nblocks, chunk=64))
+    return result.bandwidth_mb_s
+
+
+def run(
+    base_fault_rate: float = 0.012,
+    multipliers: Sequence[float] = (0.0, 1.0, 2.0, 3.0, 5.0),
+    nblocks: int = 8000,
+    seed: int = 42,
+) -> Table:
+    """Regenerate the E3 table: remap-rate multiplier vs MB/s."""
+    table = Table(
+        "E3: sequential read bandwidth vs bad-block remap rate (Hawk, 5.5 MB/s)",
+        ["fault-rate multiplier", "measured MB/s", "fraction of clean"],
+        note="paper: 3x the block faults took 5.5 -> 5.0 MB/s (~91%)",
+    )
+    clean = _bandwidth(base_fault_rate, 0.0, seed, nblocks)
+    for multiplier in multipliers:
+        bw = _bandwidth(base_fault_rate, multiplier, seed, nblocks)
+        table.add_row(multiplier, bw, bw / clean)
+    return table

@@ -1,0 +1,73 @@
+"""E6: run-to-run variance under transient stutters (Vesta).
+
+Section 2.1.2: "there was typically a cluster of measurements that gave
+near-peak results, while the other measurements were spread relatively
+widely down to as low as 15-20% of peak performance."
+
+Repeat the same fixed read benchmark many times on a component subject
+to random transient stutters, and report the distribution relative to
+peak -- the cluster-plus-tail shape is the target.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..analysis.report import Table
+from ..faults.distributions import Exponential, Uniform
+from ..faults.library import TransientStutter
+from ..sim.engine import Simulator
+from ..storage.disk import Disk, DiskParams
+from ..storage.geometry import uniform_geometry
+from ..storage.workload import sequential_scan
+
+__all__ = ["run"]
+
+
+def run(
+    n_runs: int = 60,
+    nblocks: int = 22,
+    stutter_mean_gap: float = 15.0,
+    stutter_mean_duration: float = 4.0,
+    seed: int = 11,
+) -> Table:
+    """Regenerate the E6 table: benchmark-time distribution vs peak.
+
+    Each run takes ~2 s against stutter episodes averaging 4 s every
+    ~19 s: most runs miss the episodes entirely (the near-peak cluster),
+    while an unlucky run sits mostly inside one and lands at the
+    episode's rate factor -- the paper's 15-20%-of-peak tail.
+    """
+    sim = Simulator()
+    params = DiskParams(rpm=5400, avg_seek=0.011, block_size_mb=0.5)
+    disk = Disk(sim, "vesta", geometry=uniform_geometry(2_000_000, 5.5), params=params)
+    TransientStutter(
+        interarrival=Exponential(stutter_mean_gap),
+        duration=Exponential(stutter_mean_duration),
+        factor=Uniform(0.1, 0.3),
+    ).attach(sim, disk, random.Random(seed))
+
+    bandwidths = []
+
+    def benchmark():
+        for run_index in range(n_runs):
+            result = yield sequential_scan(sim, disk, start=0, nblocks=nblocks)
+            bandwidths.append(result.bandwidth_mb_s)
+            yield sim.timeout(1.0)
+
+    sim.run(until=sim.process(benchmark()))
+    peak = max(bandwidths)
+    fractions = sorted(b / peak for b in bandwidths)
+    near_peak = sum(1 for f in fractions if f >= 0.9) / len(fractions)
+
+    table = Table(
+        f"E6: {n_runs} repeated runs of one benchmark under transient stutters",
+        ["statistic", "fraction of peak"],
+        note="paper: a near-peak cluster plus a tail down to 15-20% of peak",
+    )
+    table.add_row("best", 1.0)
+    table.add_row("median", fractions[len(fractions) // 2])
+    table.add_row("p10", fractions[max(0, len(fractions) // 10)])
+    table.add_row("worst", fractions[0])
+    table.add_row("share of runs within 10% of peak", near_peak)
+    return table

@@ -1,0 +1,54 @@
+"""E7: switch unfairness slows a global transfer (Section 2.1.3).
+
+"If enough load is placed on a Myrinet switch, certain routes receive
+preference; the result is that the nodes behind disfavored links appear
+'slower' to a sender ... the unfairness resulted in a 50% slowdown to a
+global adaptive data transfer."
+
+Run the ring global transfer on a loaded switch, fair vs. unfair, and
+report the slowdown.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Table
+from ..network.switch import Switch, SwitchConfig
+from ..network.transfer import global_transfer
+from ..sim.engine import Simulator
+
+__all__ = ["run"]
+
+
+def _throughput(n_nodes: int, favored, per_node_mb: float, penalty: float) -> float:
+    sim = Simulator()
+    switch = Switch(
+        sim,
+        SwitchConfig(
+            n_ports=n_nodes,
+            port_rate=10.0,
+            core_rate=30.0,  # loaded core so arbitration matters
+            receiver_rate=10.0,
+            buffer_packets=4 * n_nodes,
+            unfair_threshold=n_nodes,
+            unfair_penalty=penalty,
+        ),
+        favored_ports=favored,
+    )
+    result = sim.run(until=global_transfer(sim, switch, per_node_mb=per_node_mb))
+    return result.throughput_mb_s
+
+
+def run(n_nodes: int = 8, per_node_mb: float = 20.0, penalty: float = 0.1) -> Table:
+    """Regenerate the E7 table: fair vs unfair global transfer."""
+    fair = _throughput(n_nodes, None, per_node_mb, penalty)
+    half_favored = _throughput(n_nodes, set(range(n_nodes // 2)), per_node_mb, penalty)
+    one_disfavored = _throughput(n_nodes, set(range(n_nodes - 1)), per_node_mb, penalty)
+    table = Table(
+        f"E7: {n_nodes}-node global transfer under switch unfairness",
+        ["switch", "global MB/s", "slowdown vs fair"],
+        note="paper: unfairness caused a 50% slowdown of the global transfer",
+    )
+    table.add_row("fair", fair, 1.0)
+    table.add_row("half the ports favored", half_favored, fair / half_favored)
+    table.add_row("one port disfavored", one_disfavored, fair / one_disfavored)
+    return table

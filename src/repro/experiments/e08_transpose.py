@@ -1,0 +1,58 @@
+"""E8: a slow receiver collapses the all-to-all transpose (CM-5).
+
+Section 2.1.3 (Brewer & Kuszmaul): "once a receiver falls behind the
+others, messages accumulate in the network and cause excessive network
+contention, reducing transpose performance by almost a factor of three."
+
+Sweep the slow receiver's drain-rate factor; the shared-buffer switch
+turns one lagging consumer into a global slowdown.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.report import Table
+from ..network.switch import Switch, SwitchConfig
+from ..network.transfer import all_to_all_transpose
+from ..sim.engine import Simulator
+
+__all__ = ["run"]
+
+
+def _throughput(n_nodes: int, slow_factor: float, size_per_pair: float) -> float:
+    sim = Simulator()
+    switch = Switch(
+        sim,
+        SwitchConfig(
+            n_ports=n_nodes,
+            port_rate=10.0,
+            core_rate=10.0 * n_nodes,
+            receiver_rate=10.0,
+            buffer_packets=4 * n_nodes,
+        ),
+    )
+    if slow_factor < 1.0:
+        switch.receivers[n_nodes // 2].set_slowdown("lag", slow_factor)
+    result = sim.run(
+        until=all_to_all_transpose(sim, switch, size_per_pair_mb=size_per_pair)
+    )
+    return result.throughput_mb_s
+
+
+def run(
+    n_nodes: int = 8,
+    slow_factors: Sequence[float] = (1.0, 0.5, 0.33, 0.2, 0.1),
+    size_per_pair: float = 2.0,
+) -> Table:
+    """Regenerate the E8 table: receiver lag vs transpose throughput."""
+    table = Table(
+        f"E8: {n_nodes}-node all-to-all transpose with one slow receiver",
+        ["receiver factor", "transpose MB/s", "slowdown vs healthy"],
+        note="paper: one lagging receiver cut transpose performance ~3x",
+    )
+    healthy = _throughput(n_nodes, 1.0, size_per_pair)
+    for factor in slow_factors:
+        mb_s = _throughput(n_nodes, factor, size_per_pair)
+        table.add_row(factor, mb_s, healthy / mb_s)
+    return table

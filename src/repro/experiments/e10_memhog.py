@@ -1,0 +1,56 @@
+"""E10: memory hogs vs interactive response time (Brown & Mowry).
+
+Section 2.2.2: "the response time of the interactive job is shown to be
+up to 40 times worse when competing with a memory-intensive process for
+memory resources."
+
+Sweep the hog's resident size; response time explodes once the victim's
+working set no longer fits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.report import Table
+from ..cluster.interactive import InteractiveJob
+from ..cluster.interference import MemoryHog
+from ..cluster.node import Node
+from ..sim.engine import Simulator
+
+__all__ = ["run"]
+
+
+def run(
+    memory_mb: float = 512.0,
+    working_set_mb: float = 64.0,
+    hog_sizes: Sequence[float] = (0.0, 256.0, 448.0, 480.0, 500.0),
+    n_ops: int = 10,
+    page_in_rate: float = 5.0,
+) -> Table:
+    """Regenerate the E10 table: hog size vs interactive slowdown."""
+    table = Table(
+        f"E10: interactive job ({working_set_mb:.0f} MB working set) vs memory hog "
+        f"({memory_mb:.0f} MB machine)",
+        ["hog resident MB", "mean response s", "slowdown vs no hog"],
+        note="paper: response time up to 40x worse under a memory hog",
+    )
+    baseline = None
+    for hog_mb in hog_sizes:
+        sim = Simulator()
+        node = Node(sim, "n0", cpu_rate=20.0, memory_mb=memory_mb)
+        if hog_mb > 0:
+            MemoryHog(resident_mb=hog_mb).attach(sim, node)
+        job = InteractiveJob(
+            sim,
+            node,
+            working_set_mb=working_set_mb,
+            op_cpu_mb=1.0,
+            page_in_rate=page_in_rate,
+            think_time=0.1,
+        )
+        result = sim.run(until=job.run(n_ops))
+        if baseline is None:
+            baseline = result.mean
+        table.add_row(hog_mb, result.mean, result.mean / baseline)
+    return table

@@ -1,0 +1,51 @@
+"""E11: one CPU-hogged node halves the parallel sort (NOW-Sort).
+
+Section 2.2.2: "The performance of NOW-Sort is quite sensitive to
+various disturbances and requires a dedicated system to achieve 'peak'
+results.  A node with excess CPU load reduces global sorting performance
+by a factor of two."
+
+Compare the four scheduling policies with and without the hog; static
+partitioning collapses, pull/hedged recover.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Table
+from ..cluster.interference import CpuHog
+from ..cluster.sort import SortConfig, make_sort_cluster, run_sort
+from ..sim.engine import Simulator
+
+__all__ = ["run"]
+
+
+def _one(mode: str, hog_share: float, n_nodes: int, config: SortConfig):
+    sim = Simulator()
+    nodes = make_sort_cluster(sim, n_nodes)
+    if hog_share > 0:
+        CpuHog(share=hog_share).attach(sim, nodes[0])
+    return sim.run(until=run_sort(sim, nodes, config, mode=mode, hedge_after=5.0))
+
+
+def run(
+    n_nodes: int = 8, total_mb: float = 320.0, chunk_mb: float = 8.0, hog_share: float = 0.5
+) -> Table:
+    """Regenerate the E11 table: policy x hog sort throughput."""
+    config = SortConfig(total_mb=total_mb, chunk_mb=chunk_mb)
+    table = Table(
+        f"E11: {n_nodes}-node parallel sort, CPU hog (share {hog_share}) on one node",
+        ["policy", "hog", "sort MB/s", "slowdown vs healthy static", "hogged-node chunks"],
+        note="paper: excess CPU load on one node cuts the global sort ~2x",
+    )
+    healthy = _one("static", 0.0, n_nodes, config)
+    for mode in ("static", "proportional", "pull", "hedged"):
+        for hog in (0.0, hog_share):
+            result = _one(mode, hog, n_nodes, config)
+            table.add_row(
+                mode,
+                hog > 0,
+                result.throughput_mb_s,
+                healthy.throughput_mb_s / result.throughput_mb_s,
+                result.chunks_per_node[0],
+            )
+    return table

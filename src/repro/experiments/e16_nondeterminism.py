@@ -1,0 +1,61 @@
+"""E16: run-to-run nondeterminism on one processor (Kushman).
+
+Section 2.1.1: "Simple code snippets are shown to exhibit
+non-deterministic performance -- a program, executed twice on the same
+processor under identical conditions, has run times that vary by up to
+a factor of three."
+
+The model: a constant-dispatch snippet through a sticky next-field
+predictor whose initial table state is whatever the previous workload
+left behind (random per run).  Lucky initial state: every dispatch
+predicted.  Unlucky: every dispatch mispredicted, forever.  Nothing
+in the program differs between runs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..analysis.report import Table
+from ..processor.predictor import NextFieldPredictor, run_snippet
+
+__all__ = ["run"]
+
+
+def run(
+    n_runs: int = 50,
+    n_dispatches: int = 2000,
+    mispredict_penalty: int = 2,
+    target_space: int = 8,
+    seed: int = 19,
+) -> Table:
+    """Regenerate the E16 table: run-time distribution across runs."""
+    snippet = [(0, 5)] * n_dispatches  # the same program, every run
+    master = random.Random(seed)
+    runtimes = []
+    for __ in range(n_runs):
+        predictor = NextFieldPredictor(
+            4,
+            random.Random(master.randrange(2**32)),
+            update="sticky",
+            target_space=target_space,
+        )
+        result = run_snippet(
+            predictor, snippet, base_cycles=1, mispredict_penalty=mispredict_penalty
+        )
+        runtimes.append(result.cycles)
+    fast = min(runtimes)
+    slow = max(runtimes)
+    slow_runs = sum(1 for r in runtimes if r == slow)
+    table = Table(
+        f"E16: one program, {n_runs} runs, 'identical conditions' "
+        "(sticky next-field predictor, random initial state)",
+        ["statistic", "value"],
+        note="paper: run times vary by up to a factor of three",
+    )
+    table.add_row("fastest run (cycles)", float(fast))
+    table.add_row("slowest run (cycles)", float(slow))
+    table.add_row("slow/fast ratio", slow / fast)
+    table.add_row("slow runs out of all", float(slow_runs))
+    table.add_row("distinct runtimes", float(len(set(runtimes))))
+    return table

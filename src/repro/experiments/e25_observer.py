@@ -1,0 +1,77 @@
+"""E25: performance faults are observer-dependent (Section 3.1).
+
+"Further, a performance failure from the perspective of one component
+may not manifest itself to others (e.g., the failure is caused by a bad
+network link)."
+
+Two clients measure the same server across a small fabric.  Scenario 1
+degrades client A's access link: A's detector declares the server
+performance-faulty while C's says it is healthy -- broadcasting A's
+verdict would poison C's view.  Scenario 2 degrades the server's shared
+uplink: now both observers agree, the case worth exporting to the
+performance-state registry.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Table
+from ..core.detection import ThresholdDetector
+from ..faults.spec import PerformanceSpec
+from ..network.fabric import Fabric
+from ..sim.engine import Simulator
+
+__all__ = ["run"]
+
+
+def _build(sim: Simulator) -> Fabric:
+    fabric = Fabric(sim)
+    fabric.add_link("clientA", "mid", 10.0)
+    fabric.add_link("clientC", "mid", 10.0)
+    fabric.add_link("mid", "server", 10.0)
+    return fabric
+
+
+def _observe(fabric: Fabric, sim: Simulator, client: str, n_probes: int,
+             probe_mb: float) -> ThresholdDetector:
+    spec = PerformanceSpec(nominal_rate=10.0, tolerance=0.25)
+    detector = ThresholdDetector(spec, min_samples=3)
+
+    def probing():
+        for __ in range(n_probes):
+            start = sim.now
+            yield fabric.transfer(client, "server", probe_mb)
+            detector.observe(probe_mb, sim.now - start)
+            yield sim.timeout(0.5)
+
+    sim.run(until=sim.process(probing()))
+    return detector
+
+
+def run(n_probes: int = 8, probe_mb: float = 5.0, factor: float = 0.2) -> Table:
+    """Regenerate the E25 table: scenario x observer verdicts."""
+    table = Table(
+        "E25: is the server performance-faulty?  Depends who is asking",
+        ["fault location", "observer", "estimated MB/s", "verdict on server"],
+        note="per-observer verdicts justify Section 3.1's caution about "
+        "broadcasting every performance fault: only the shared-link case "
+        "is global truth",
+    )
+    scenarios = (
+        ("none", None),
+        ("clientA's access link", ("clientA", "mid")),
+        ("server's shared uplink", ("mid", "server")),
+    )
+    for label, bad_link in scenarios:
+        sim = Simulator()
+        fabric = _build(sim)
+        if bad_link is not None:
+            fabric.link(*bad_link).set_slowdown("bad-cable", factor)
+        for client in ("clientA", "clientC"):
+            detector = _observe(fabric, sim, client, n_probes, probe_mb)
+            table.add_row(
+                label,
+                client,
+                detector.estimated_rate,
+                "faulty" if detector.faulty else "healthy",
+            )
+    return table

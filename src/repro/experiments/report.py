@@ -1,0 +1,166 @@
+"""Regenerate the full EXPERIMENTS.md content.
+
+Usage::
+
+    python -m repro.experiments.report > EXPERIMENTS.md
+
+Each section pairs the paper's claim with the freshly measured table, so
+the document can always be rebuilt from the code it describes.
+"""
+
+from __future__ import annotations
+
+from . import ALL_EXPERIMENTS
+
+__all__ = ["CLAIMS", "generate", "main"]
+
+#: Paper claim per experiment id, quoted or paraphrased from the text.
+CLAIMS = {
+    "e01": "Section 3.2: with N mirror pairs at B MB/s and one pair at b < B, "
+    "a fail-stop design delivers N*b; gauging once at install recovers "
+    "(N-1)*B + b under a *static* fault only; continuous adaptation holds it "
+    "under arbitrary rate changes, at the cost of per-block bookkeeping.",
+    "e02": "Section 1: 'if performance of a single disk is consistently lower "
+    "than the rest, the performance of the entire storage system tracks that "
+    "of the single, slow disk.'",
+    "e03": "Section 2.1.2: a Hawk with 3x the block faults of its peers "
+    "delivered 5.0 MB/s instead of 5.5 MB/s (~91%) on sequential reads, "
+    "blamed on transparent SCSI bad-block remappings.",
+    "e04": "Section 2.1.2: SCSI timeouts and parity errors are 49% of all "
+    "errors (87% with network errors removed), roughly two per day, and "
+    "'often lead to SCSI bus resets, affecting the performance of all disks "
+    "on the degraded SCSI chain.'",
+    "e05": "Section 2.1.2: 'disks have multiple zones, with performance "
+    "across zones differing by up to a factor of two.'",
+    "e06": "Section 2.1.2 (Vesta): 'a cluster of measurements that gave "
+    "near-peak results, while the other measurements were spread relatively "
+    "widely down to as low as 15-20% of peak performance.'",
+    "e07": "Section 2.1.3: under load 'certain routes receive preference; "
+    "... the unfairness resulted in a 50% slowdown to a global adaptive data "
+    "transfer.'",
+    "e08": "Section 2.1.3 (CM-5): 'once a receiver falls behind the others, "
+    "messages accumulate in the network and cause excessive network "
+    "contention, reducing transpose performance by almost a factor of three.'",
+    "e09": "Section 2.1.3: 'by waiting too long between packets that form a "
+    "logical message, the deadlock-detection hardware triggers ... halting "
+    "all switch traffic for two seconds.'",
+    "e10": "Section 2.2.2 (Brown & Mowry): 'the response time of the "
+    "interactive job is shown to be up to 40 times worse when competing with "
+    "a memory-intensive process for memory resources.'",
+    "e11": "Section 2.2.2 (NOW-Sort): 'A node with excess CPU load reduces "
+    "global sorting performance by a factor of two.'",
+    "e12": "Section 2.2.1 (Gribble): 'untimely garbage collection causes one "
+    "node to fall behind its mirror in a replicated update. The result is "
+    "that one machine over-saturates and thus is the bottleneck.'",
+    "e13": "Section 2.2.1: 'Sequential file read performance across aged "
+    "file systems varies by up to a factor of two ... when the file systems "
+    "are recreated afresh, performance is identical across all drives.'",
+    "e14": "Section 3.3: 'A system that only utilizes the fail-stop model is "
+    "likely to deliver poor performance under even a single performance "
+    "failure; if performance does not meet the threshold, availability "
+    "decreases. In contrast, a system that takes performance failures into "
+    "account is likely to deliver consistent, high performance, thus "
+    "increasing availability.'",
+    "e15": "Section 2.1.1 (Viking): fault masking sells flawed chips as "
+    "identical -- 'the [effective size of the] first level cache is only 4K "
+    "and is direct-mapped' against a 16 KB 4-way spec, with 'performance "
+    "differences of up to 40%' across chips.",
+    "e16": "Section 2.1.1 (Kushman, UltraSPARC-I): 'a program, executed "
+    "twice on the same processor under identical conditions, has run times "
+    "that vary by up to a factor of three,' from next-field prediction and "
+    "fetch-logic state.",
+    "e17": "Section 2.2.1 (Chen & Bershad): 'virtual-memory mapping "
+    "decisions can reduce application performance by up to 50% ... the "
+    "allocation of pages in memory will affect the cache-miss rate.'",
+    "e18": "Section 2.2.2 (Raghavan & Hayes): 'perturbations to a vector "
+    "reference stream can reduce memory system efficiency by up to a factor "
+    "of two.'",
+    "e19": "Section 3.3 (Reliability): 'erratic performance may be an early "
+    "indicator of impending failure' -- a stutter-trend predictor warns of "
+    "wear-out before fail-stop.",
+    "e20": "Section 2.1.1 (Bressoud & Schneider): 'An identical series of "
+    "location-references and TLB-insert operations at the processors running "
+    "the primary and backup virtual machines could lead to different TLB "
+    "contents' -- nondeterministic hardware breaking replica determinism.",
+    "e21": "Section 3.3 (Manageability): 'adding these faster components to "
+    "incrementally scale the system is handled naturally, because the older "
+    "components simply appear to be performance-faulty versions of the new "
+    "ones' -- plug-and-play incremental growth.",
+    "e22": "Section 4 (related work, the authors' River system): a "
+    "distributed queue 'provides mechanisms to enable consistent and high "
+    "performance in spite of erratic performance in underlying components' "
+    "-- credit routing vs the static partitioning it replaced.",
+    "e23": "Section 3.3 (Manageability): 'new workloads (and the imbalances "
+    "they may bring) can be introduced into the system without fear, as "
+    "those imbalances are handled by the performance-fault tolerance "
+    "mechanisms.'",
+    "e24": "Section 2.1.2 (Bolosky, Tiger video fileserver): disks 'would "
+    "go off-line at random intervals for short periods of time, apparently "
+    "due to thermal recalibrations' -- frame deadlines turn short stalls "
+    "into user-visible glitches unless reads fail over or hedge.",
+    "e25": "Section 3.1: 'a performance failure from the perspective of one "
+    "component may not manifest itself to others (e.g., the failure is "
+    "caused by a bad network link)' -- per-observer detector verdicts "
+    "disagree unless the fault is on a shared path.",
+    "a1": "Section 3.1 design choice: 'erratic performance may occur quite "
+    "frequently, and thus distributing that information may be overly "
+    "expensive' vs. exporting 'performance state' for persistent faults.",
+    "a2": "Section 3.1 design choice: 'if the disk request takes longer than "
+    "T seconds to service, consider it absolutely failed' -- and the warning "
+    "that treating working components as failed 'leads to a large waste of "
+    "system resources.'",
+    "a3": "Section 5 research agenda: detectors must be designed and "
+    "evaluated; this ablation compares threshold, EWMA and peer-median "
+    "detectors on detection lag vs. false positives.",
+    "a4": "Section 3.2 scenario 3: 'this approach increases the amount of "
+    "bookkeeping: ... the controller must record where each block is "
+    "written. However, by increasing complexity, we create a system that is "
+    "more robust.'",
+    "a5": "Section 3.1 design choice: 'the simpler the model, the more "
+    "likely performance faults occur' -- spec fidelity vs. nominal-fault "
+    "frequency.",
+    "a6": "Section 3.2 scenario 1 ('a reconstruction initiated to a hot "
+    "spare'), reread under fail-stutter: the rebuild makes the survivor "
+    "performance-faulty; the throttle trades the no-redundancy exposure "
+    "window against foreground latency.",
+    "a7": "Section 4 (Shasha & Turek): duplicating work 'elsewhere' needs a "
+    "trigger -- the hedge-after threshold trades straggler rescue speed "
+    "against duplicated (wasted) work.",
+}
+
+
+def generate() -> str:
+    """The full EXPERIMENTS.md text with freshly measured tables."""
+    parts = [
+        "# EXPERIMENTS — paper claims vs. measured reproduction",
+        "",
+        "Generated by `python -m repro.experiments.report`.  The paper is a",
+        "position paper with no numbered tables or figures; the experiment",
+        "ids E1–E24 and ablations A1–A7 are defined in DESIGN.md and cover",
+        "every quantitative claim in the text plus the Section 3.2 worked",
+        "example and the Section 3.3 benefit claims.  Absolute numbers come",
+        "from a simulator calibrated to the paper's era (5.5 MB/s Hawks, 2 s",
+        "resets); the reproduction target is the *shape* of each claim.",
+        "",
+    ]
+    for key, runner in ALL_EXPERIMENTS.items():
+        table = runner()
+        parts.append(f"## {key.upper()}")
+        parts.append("")
+        parts.append(f"**Paper:** {CLAIMS[key]}")
+        parts.append("")
+        parts.append("**Measured:**")
+        parts.append("")
+        parts.append("```")
+        parts.append(table.render())
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def main() -> None:
+    print(generate())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The fail-stutter fault model and fault injection.
+
+* :mod:`repro.faults.model` -- fault taxonomy and the ``DegradableMixin``
+  interface every injectable component implements.
+* :mod:`repro.faults.spec` -- performance specifications (Section 3.1).
+* :mod:`repro.faults.distributions` -- sampling laws for fault schedules.
+* :mod:`repro.faults.injector` / :mod:`repro.faults.library` -- the
+  injection framework and the concrete faults from the paper's survey.
+"""
+
+from .distributions import (
+    Bernoulli,
+    Distribution,
+    Empirical,
+    Exponential,
+    Fixed,
+    LogNormal,
+    Pareto,
+    Uniform,
+    Weibull,
+)
+from .component import DegradableServer
+from .injector import CompositeInjector, FaultInjector, InjectorHandle
+from .library import (
+    CorrelatedGroupFault,
+    FailStopAt,
+    IntermittentOffline,
+    InterferenceLoad,
+    PeriodicBackground,
+    RandomFailStop,
+    StaticSkew,
+    TransientStutter,
+)
+from .model import (
+    ComponentState,
+    ComponentStopped,
+    CorrectnessFault,
+    DegradableMixin,
+    FaultModel,
+    PerformanceFault,
+)
+from .spec import BandedSpec, PerformanceSpec
+
+__all__ = [
+    "FaultModel",
+    "ComponentState",
+    "ComponentStopped",
+    "CorrectnessFault",
+    "PerformanceFault",
+    "DegradableMixin",
+    "DegradableServer",
+    "PerformanceSpec",
+    "BandedSpec",
+    "Distribution",
+    "Fixed",
+    "Uniform",
+    "Exponential",
+    "Pareto",
+    "Weibull",
+    "LogNormal",
+    "Empirical",
+    "Bernoulli",
+    "FaultInjector",
+    "InjectorHandle",
+    "CompositeInjector",
+    "StaticSkew",
+    "TransientStutter",
+    "PeriodicBackground",
+    "IntermittentOffline",
+    "CorrelatedGroupFault",
+    "InterferenceLoad",
+    "FailStopAt",
+    "RandomFailStop",
+]

@@ -1,0 +1,115 @@
+"""A degradable work server: the canonical injectable component.
+
+Almost every simulated device in the library -- disk transfer engines,
+network links, CPU cores -- is "a FIFO server whose rate faults can
+push around".  :class:`DegradableServer` packages that once:
+:class:`~repro.sim.resources.RateServer` for the queueing behaviour plus
+:class:`~repro.faults.model.DegradableMixin` for the fault surface,
+with submission guarded by the fail-stop check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim.engine import Event, Simulator
+from ..sim.resources import RateServer
+from .model import ComponentStopped, DegradableMixin
+
+__all__ = ["DegradableServer"]
+
+
+class DegradableServer(DegradableMixin):
+    """A FIFO work server with the full fail-stutter fault surface.
+
+    ``submit(size)`` behaves like :meth:`RateServer.submit` while the
+    component is alive.  After :meth:`stop` (fail-stop), submission raises
+    :class:`ComponentStopped` immediately -- the detectable-halt semantics
+    of Schneider's definition -- and any queued jobs are failed with the
+    same exception so waiters learn of the failure.
+    """
+
+    def __init__(self, sim: Simulator, name: str, nominal_rate: float):
+        self.sim = sim
+        self._server = RateServer(sim, nominal_rate, name=name)
+        self._init_degradable(name, nominal_rate)
+        self._inflight: list[Event] = []
+
+    # -- DegradableMixin hooks -------------------------------------------------
+
+    def _apply_rate(self, rate: float) -> None:
+        self._server.set_rate(rate)
+
+    def _now(self) -> float:
+        return self.sim.now
+
+    # -- work surface -------------------------------------------------------------
+
+    def submit(self, size: float, tag: Any = None) -> Event:
+        """Enqueue ``size`` units of work; event fires with JobStats.
+
+        Raises :class:`ComponentStopped` if the component has fail-stopped.
+        """
+        if self.stopped:
+            raise ComponentStopped(self.name)
+        event = self._server.submit(size, tag=tag)
+        self._inflight.append(event)
+        event.callbacks.append(self._forget)
+        return event
+
+    def _forget(self, event: Event) -> None:
+        """Drop a settled job from the in-flight list (idempotent)."""
+        if event in self._inflight:
+            self._inflight.remove(event)
+
+    def stop(self, cause: str = "fail-stop") -> None:
+        """Fail-stop: halt, fail all in-flight work detectably."""
+        already = self.stopped
+        super().stop(cause)
+        if already:
+            return
+        # Fail queued/in-service jobs so waiters detect the failure rather
+        # than hanging forever on a rate-0 server.
+        for event in list(self._inflight):
+            if not event.triggered:
+                event.fail(ComponentStopped(self.name))
+                # Pre-defuse: waiters still receive the exception, but a
+                # fire-and-forget write does not crash the simulation.
+                event._defused = True
+        self._inflight.clear()
+
+    def drain(self) -> Event:
+        """Event firing when the server next goes idle."""
+        return self._server.drain()
+
+    # -- passthrough metrics -------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting behind the one in service."""
+        return self._server.queue_length
+
+    @property
+    def busy(self) -> bool:
+        """True while a job is in service."""
+        return self._server.busy
+
+    @property
+    def jobs_completed(self) -> int:
+        """Total jobs served."""
+        return self._server.jobs_completed
+
+    @property
+    def work_completed(self) -> float:
+        """Total work units served."""
+        return self._server.work_completed
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Busy fraction (see :meth:`RateServer.utilization`)."""
+        return self._server.utilization(elapsed)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DegradableServer {self.name} rate={self.effective_rate:.3g}"
+            f"/{self.nominal_rate:.3g} state={self.state.value}>"
+        )

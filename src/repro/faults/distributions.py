@@ -1,0 +1,190 @@
+"""Sampling distributions for fault schedules.
+
+Section 3.1: "The designer must also have a good model of how often
+various performance faults occur, and how long they last; both of these
+are environment and component specific."  Injectors therefore take their
+interarrival, duration and magnitude processes as pluggable
+:class:`Distribution` objects rather than hard-coded laws.
+
+All distributions draw from an explicitly passed ``random.Random`` so
+fault schedules stay deterministic and independent of workload randomness
+(see :class:`repro.sim.RandomStreams`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "Distribution",
+    "Fixed",
+    "Uniform",
+    "Exponential",
+    "Pareto",
+    "Weibull",
+    "LogNormal",
+    "Empirical",
+    "Bernoulli",
+]
+
+
+class Distribution:
+    """A sampling law over nonnegative reals."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw one value using ``rng``."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Analytic mean (``inf`` where undefined/heavy-tailed)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Fixed(Distribution):
+    """Always returns ``value`` (deterministic schedules, e.g. GC periods)."""
+
+    value: float
+
+    def __post_init__(self):
+        if self.value < 0:
+            raise ValueError(f"value must be >= 0, got {self.value}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if self.low < 0 or self.high < self.low:
+            raise ValueError(f"need 0 <= low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential with the given ``mean`` (memoryless interarrivals)."""
+
+    mean_value: float
+
+    def __post_init__(self):
+        if self.mean_value <= 0:
+            raise ValueError(f"mean must be > 0, got {self.mean_value}")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean_value)
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True)
+class Pareto(Distribution):
+    """Pareto with shape ``alpha`` and scale ``xmin`` (heavy-tailed stalls)."""
+
+    alpha: float
+    xmin: float = 1.0
+
+    def __post_init__(self):
+        if self.alpha <= 0 or self.xmin <= 0:
+            raise ValueError("alpha and xmin must be > 0")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.xmin * rng.paretovariate(self.alpha)
+
+    def mean(self) -> float:
+        if self.alpha <= 1:
+            return float("inf")
+        return self.alpha * self.xmin / (self.alpha - 1)
+
+
+@dataclass(frozen=True)
+class Weibull(Distribution):
+    """Weibull with scale ``lam`` and shape ``k`` (wear-out style durations)."""
+
+    lam: float
+    k: float
+
+    def __post_init__(self):
+        if self.lam <= 0 or self.k <= 0:
+            raise ValueError("lam and k must be > 0")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.weibullvariate(self.lam, self.k)
+
+    def mean(self) -> float:
+        return self.lam * math.gamma(1 + 1 / self.k)
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal with parameters ``mu`` and ``sigma`` of the underlying normal."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2)
+
+
+@dataclass(frozen=True)
+class Empirical(Distribution):
+    """Samples uniformly from observed ``values`` (trace replay)."""
+
+    values: Sequence[float]
+
+    def __post_init__(self):
+        if not self.values:
+            raise ValueError("values must be non-empty")
+        if any(v < 0 for v in self.values):
+            raise ValueError("values must be >= 0")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.choice(list(self.values))
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+
+@dataclass(frozen=True)
+class Bernoulli(Distribution):
+    """Returns ``value`` with probability ``p``, else 0 (rare-event magnitude)."""
+
+    p: float
+    value: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {self.p}")
+        if self.value < 0:
+            raise ValueError(f"value must be >= 0, got {self.value}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value if rng.random() < self.p else 0.0
+
+    def mean(self) -> float:
+        return self.p * self.value

@@ -1,0 +1,114 @@
+"""Fault-injection framework.
+
+A :class:`FaultInjector` is a reusable description of a fault *process*
+(when faults start, how long they last, how severe they are).  Attaching
+an injector to a :class:`~repro.faults.model.DegradableMixin` component
+starts a simulation process that drives the component's slowdown channels
+according to that description.
+
+Injectors never touch component internals: the only surface they use is
+``set_slowdown`` / ``clear_slowdown`` / ``stop``, so any component in any
+substrate can be subjected to any fault from the library.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Optional, Sequence
+
+from ..sim.engine import Process, Simulator
+from ..sim.trace import Tracer
+from .model import DegradableMixin
+
+__all__ = ["FaultInjector", "InjectorHandle", "CompositeInjector"]
+
+_injector_ids = itertools.count()
+
+
+class InjectorHandle:
+    """A started injector: the processes driving faults on a target."""
+
+    def __init__(self, injector: "FaultInjector", processes: List[Process]):
+        self.injector = injector
+        self.processes = processes
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Stop injecting (already-applied slowdowns are left as-is)."""
+        self.cancelled = True
+
+
+class FaultInjector:
+    """Base class for fault injectors.
+
+    Subclasses implement :meth:`_drive`, a generator that manipulates the
+    target's slowdown channels over simulated time.  The ``source``
+    channel name is unique per injector instance so that multiple
+    injectors compose on one component.
+    """
+
+    #: Human-readable fault kind, e.g. "transient-stutter".
+    kind: str = "fault"
+
+    def __init__(self, source: Optional[str] = None):
+        self.source = source or f"{self.kind}#{next(_injector_ids)}"
+
+    def attach(
+        self,
+        sim: Simulator,
+        target: DegradableMixin,
+        rng: Optional[random.Random] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> InjectorHandle:
+        """Start injecting faults into ``target``; returns a handle."""
+        rng = rng or random.Random(0)
+        handle = InjectorHandle(self, [])
+        process = sim.process(self._drive(sim, target, rng, tracer, handle))
+        handle.processes.append(process)
+        return handle
+
+    def attach_all(
+        self,
+        sim: Simulator,
+        targets: Sequence[DegradableMixin],
+        rng: Optional[random.Random] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> List[InjectorHandle]:
+        """Attach an independent copy of this fault process to each target."""
+        return [self.attach(sim, t, rng, tracer) for t in targets]
+
+    # -- subclass hook ---------------------------------------------------------
+
+    def _drive(self, sim, target, rng, tracer, handle):
+        """Generator driving the fault process (subclass responsibility)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- helpers for subclasses --------------------------------------------------
+
+    def _emit(self, tracer: Optional[Tracer], event: str, target: DegradableMixin, detail=None):
+        if tracer is not None:
+            tracer.emit(f"fault.{self.kind}.{event}", target.name, detail)
+
+
+class CompositeInjector(FaultInjector):
+    """Applies several injectors to the same target as one unit."""
+
+    kind = "composite"
+
+    def __init__(self, injectors: Sequence[FaultInjector]):
+        super().__init__()
+        if not injectors:
+            raise ValueError("composite needs at least one injector")
+        self.injectors = list(injectors)
+
+    def attach(self, sim, target, rng=None, tracer=None) -> InjectorHandle:
+        handle = InjectorHandle(self, [])
+        for injector in self.injectors:
+            child = injector.attach(sim, target, rng, tracer)
+            handle.processes.extend(child.processes)
+        return handle
+
+    def _drive(self, sim, target, rng, tracer, handle):  # pragma: no cover
+        raise NotImplementedError("composite delegates to children")

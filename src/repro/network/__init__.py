@@ -1,0 +1,25 @@
+"""Network substrate: links, switches and collective transfers.
+
+* :mod:`repro.network.link` -- point-to-point degradable links.
+* :mod:`repro.network.switch` -- the switch model with the Section 2.1.3
+  fault modes (unfair arbitration, deadlock-recovery stalls, shared-buffer
+  flow-control backpressure).
+* :mod:`repro.network.transfer` -- all-to-all transpose, ring global
+  transfer and gap-separated logical messages.
+"""
+
+from .fabric import Fabric
+from .link import Link
+from .switch import Switch, SwitchConfig
+from .transfer import TransferResult, all_to_all_transpose, global_transfer, send_message
+
+__all__ = [
+    "Fabric",
+    "Link",
+    "Switch",
+    "SwitchConfig",
+    "TransferResult",
+    "all_to_all_transpose",
+    "global_transfer",
+    "send_message",
+]

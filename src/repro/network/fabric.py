@@ -1,0 +1,147 @@
+"""Multi-hop network fabric with per-link faults.
+
+Section 3.1's argument against broadcasting every performance fault
+rests on observer-dependence: "a performance failure from the
+perspective of one component may not manifest itself to others (e.g.,
+the failure is caused by a bad network link)."  Reasoning about that
+needs paths: a :class:`Fabric` is a graph of named nodes joined by
+:class:`~repro.network.link.Link` objects, with shortest-path routing
+and store-and-forward transfer, so a degraded link slows exactly the
+pairs whose routes cross it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from ..sim.engine import Process, Simulator
+from .link import Link
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Named nodes joined by bidirectional links, with BFS routing."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._adjacency: Dict[str, Dict[str, Link]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        """Declare a node (idempotent)."""
+        self._adjacency.setdefault(name, {})
+
+    def add_link(
+        self, a: str, b: str, bandwidth: float, latency: float = 0.0
+    ) -> Tuple[Link, Link]:
+        """Join ``a`` and ``b`` with a link pair (one Link per direction).
+
+        Each direction is an independent degradable component, so a
+        fault can be asymmetric (slow only a->b), as real bad links are.
+        """
+        if a == b:
+            raise ValueError("cannot link a node to itself")
+        self.add_node(a)
+        self.add_node(b)
+        forward = Link(self.sim, f"{a}->{b}", bandwidth, latency)
+        backward = Link(self.sim, f"{b}->{a}", bandwidth, latency)
+        self._adjacency[a][b] = forward
+        self._adjacency[b][a] = backward
+        return forward, backward
+
+    def link(self, a: str, b: str) -> Link:
+        """The directed link from ``a`` to ``b``."""
+        try:
+            return self._adjacency[a][b]
+        except KeyError:
+            raise KeyError(f"no link {a}->{b}") from None
+
+    @property
+    def nodes(self) -> List[str]:
+        """All node names, sorted."""
+        return sorted(self._adjacency)
+
+    # -- routing ----------------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> List[Link]:
+        """Shortest path (fewest hops) as a list of directed links."""
+        if src not in self._adjacency or dst not in self._adjacency:
+            raise KeyError(f"unknown node in {src}->{dst}")
+        if src == dst:
+            return []
+        parents: Dict[str, str] = {src: src}
+        frontier = deque([src])
+        while frontier:
+            here = frontier.popleft()
+            if here == dst:
+                break
+            for neighbor in sorted(self._adjacency[here]):
+                if neighbor not in parents:
+                    parents[neighbor] = here
+                    frontier.append(neighbor)
+        if dst not in parents:
+            raise ValueError(f"no path {src}->{dst}")
+        hops: List[Link] = []
+        node = dst
+        while node != src:
+            parent = parents[node]
+            hops.append(self._adjacency[parent][node])
+            node = parent
+        hops.reverse()
+        return hops
+
+    # -- transfer --------------------------------------------------------------------
+
+    def transfer(self, src: str, dst: str, size_mb: float, chunk_mb: float = 1.0) -> Process:
+        """Move ``size_mb`` along the route, store-and-forward per chunk.
+
+        Returns a process whose value is the transfer duration.  Chunks
+        pipeline across hops (chunk 2 occupies hop 1 while chunk 1
+        occupies hop 2), so healthy multi-hop paths still run at roughly
+        the bottleneck link's bandwidth.
+        """
+        if size_mb <= 0 or chunk_mb <= 0:
+            raise ValueError("sizes must be > 0")
+        hops = self.route(src, dst)
+        if not hops:
+            raise ValueError("src == dst: nothing to transfer")
+
+        def forward(chunks_in, chunks_out, hop):
+            while True:
+                chunk = yield chunks_in.get()
+                if chunk is None:
+                    chunks_out.put(None)
+                    return
+                yield hop.transmit(chunk)
+                chunks_out.put(chunk)
+
+        def go():
+            from ..sim.resources import Store
+
+            start = self.sim.now
+            stages = [Store(self.sim) for __ in range(len(hops) + 1)]
+            for hop, inlet, outlet in zip(hops, stages, stages[1:]):
+                self.sim.process(forward(inlet, outlet, hop))
+            remaining = size_mb
+            while remaining > 1e-12:
+                stages[0].put(min(chunk_mb, remaining))
+                remaining -= min(chunk_mb, remaining)
+            stages[0].put(None)
+            while True:
+                item = yield stages[-1].get()
+                if item is None:
+                    return self.sim.now - start
+
+        return self.sim.process(go())
+
+    def measure_bandwidth(self, src: str, dst: str, size_mb: float = 20.0) -> Process:
+        """Timed transfer; the process returns observed MB/s."""
+
+        def go():
+            duration = yield self.transfer(src, dst, size_mb)
+            return size_mb / duration
+
+        return self.sim.process(go())

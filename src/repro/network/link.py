@@ -1,0 +1,53 @@
+"""Point-to-point network links.
+
+A :class:`Link` is a degradable server whose work unit is megabytes: the
+serialisation delay is ``size / bandwidth`` (subject to performance
+faults) plus a fixed propagation ``latency``.  Links are the building
+block for the switch's port engines and for simple two-node experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..faults.component import DegradableServer
+from ..sim.engine import Event, Simulator
+
+__all__ = ["Link"]
+
+
+class Link(DegradableServer):
+    """A unidirectional link with bandwidth and propagation latency."""
+
+    def __init__(self, sim: Simulator, name: str, bandwidth: float, latency: float = 0.0):
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        super().__init__(sim, name, nominal_rate=bandwidth)
+        self.latency = latency
+
+    @property
+    def bandwidth(self) -> float:
+        """Current effective bandwidth in MB/s."""
+        return self.effective_rate
+
+    def transmit(self, size_mb: float, tag: Any = None) -> Event:
+        """Send ``size_mb``; the event fires after serialisation + latency.
+
+        The returned event carries the sender-side
+        :class:`~repro.sim.resources.JobStats`.
+        """
+        done = self.sim.event()
+        serialized = self.submit(size_mb, tag=tag)
+
+        def after(ev: Event) -> None:
+            if not ev._ok:
+                done.fail(ev._value)
+                ev._defused = True
+                return
+            if self.latency > 0:
+                self.sim.schedule(self.latency, done.succeed, ev._value)
+            else:
+                done.succeed(ev._value)
+
+        serialized.callbacks.append(after)
+        return done

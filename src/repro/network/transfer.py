@@ -1,0 +1,165 @@
+"""Cluster-level transfer patterns over a switch.
+
+These reproduce the communication workloads behind the paper's switch
+evidence: the CM-5 all-to-all transpose (one slow receiver collapses the
+whole operation) and the Berkeley global transfer (unfair arbitration
+slows everyone behind disfavored links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..sim.engine import Process, Simulator
+from .switch import Switch
+
+__all__ = ["TransferResult", "all_to_all_transpose", "global_transfer", "send_message"]
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one collective transfer."""
+
+    total_mb: float
+    duration: float
+
+    @property
+    def throughput_mb_s(self) -> float:
+        """Aggregate delivered MB/s."""
+        if self.duration <= 0:
+            return float("inf")
+        return self.total_mb / self.duration
+
+
+def all_to_all_transpose(
+    sim: Simulator,
+    switch: Switch,
+    size_per_pair_mb: float,
+    packets_per_pair: int = 4,
+    nodes: Optional[Sequence[int]] = None,
+) -> Process:
+    """Every node sends ``size_per_pair_mb`` to every other node.
+
+    Each pairwise transfer is split into ``packets_per_pair`` packets so
+    the shared buffer pool sees realistic packet-level occupancy.  The
+    process returns a :class:`TransferResult` when every byte has been
+    *consumed by its receiver* -- the CM-5 semantics under which one slow
+    receiver drags the collective.
+    """
+    if size_per_pair_mb <= 0:
+        raise ValueError(f"size_per_pair_mb must be > 0, got {size_per_pair_mb}")
+    if packets_per_pair < 1:
+        raise ValueError(f"packets_per_pair must be >= 1, got {packets_per_pair}")
+    node_list = list(nodes) if nodes is not None else list(range(switch.config.n_ports))
+    if len(node_list) < 2:
+        raise ValueError("need at least 2 nodes")
+    packet_mb = size_per_pair_mb / packets_per_pair
+
+    def sender(src: int):
+        # Round-robin over destinations, one packet at a time, so senders
+        # interleave like a real transpose rather than bursting pairwise.
+        pending = []
+        for round_idx in range(packets_per_pair):
+            for dst in node_list:
+                if dst == src:
+                    continue
+                pending.append(switch.send(src, dst, packet_mb))
+                yield sim.timeout(0)
+        yield sim.all_of(pending)
+
+    def go():
+        start = sim.now
+        yield sim.all_of([sim.process(sender(src)) for src in node_list])
+        n = len(node_list)
+        total = size_per_pair_mb * n * (n - 1)
+        return TransferResult(total_mb=total, duration=sim.now - start)
+
+    return sim.process(go())
+
+
+def global_transfer(
+    sim: Simulator,
+    switch: Switch,
+    per_node_mb: float,
+    chunk_mb: float = 1.0,
+    window: int = 4,
+    nodes: Optional[Sequence[int]] = None,
+) -> Process:
+    """A ring shift: every node streams ``per_node_mb`` to its successor.
+
+    Each sender keeps up to ``window`` chunks in flight, pipelining the
+    core/port/receiver stages.  The global operation completes when the
+    *last* node finishes -- so a single disfavored route (switch
+    unfairness, E7) slows the whole transfer even though every other
+    route runs at full speed.
+    """
+    if per_node_mb <= 0 or chunk_mb <= 0:
+        raise ValueError("sizes must be > 0")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    node_list = list(nodes) if nodes is not None else list(range(switch.config.n_ports))
+    if len(node_list) < 2:
+        raise ValueError("need at least 2 nodes")
+
+    def sender(src: int, dst: int):
+        remaining = per_node_mb
+        inflight = []
+        while remaining > 1e-12:
+            size = min(chunk_mb, remaining)
+            inflight.append(switch.send(src, dst, size))
+            remaining -= size
+            if len(inflight) >= window:
+                yield sim.any_of(inflight)
+                inflight = [ev for ev in inflight if not ev.triggered]
+        if inflight:
+            yield sim.all_of(inflight)
+
+    def go():
+        start = sim.now
+        senders = [
+            sim.process(sender(src, node_list[(i + 1) % len(node_list)]))
+            for i, src in enumerate(node_list)
+        ]
+        yield sim.all_of(senders)
+        total = per_node_mb * len(node_list)
+        return TransferResult(total_mb=total, duration=sim.now - start)
+
+    return sim.process(go())
+
+
+def send_message(
+    sim: Simulator,
+    switch: Switch,
+    src: int,
+    dst: int,
+    n_packets: int,
+    packet_mb: float,
+    gap: float,
+    message_id: Optional[object] = None,
+) -> Process:
+    """Send a logical message as gap-separated packets (E9 workload).
+
+    If ``gap`` exceeds the switch's ``deadlock_gap``, every inter-packet
+    wait trips the deadlock detector and stalls the whole switch --
+    the software-structure bug the paper describes.  Returns a
+    :class:`TransferResult`.
+    """
+    if n_packets < 1:
+        raise ValueError(f"n_packets must be >= 1, got {n_packets}")
+    if packet_mb <= 0 or gap < 0:
+        raise ValueError("packet_mb must be > 0 and gap >= 0")
+    mid = message_id if message_id is not None else object()
+
+    def go():
+        start = sim.now
+        deliveries = []
+        for i in range(n_packets):
+            if i > 0 and gap > 0:
+                yield sim.timeout(gap)
+            deliveries.append(switch.send(src, dst, packet_mb, message_id=mid))
+        yield sim.all_of(deliveries)
+        switch.end_message(mid)
+        return TransferResult(total_mb=n_packets * packet_mb, duration=sim.now - start)
+
+    return sim.process(go())

@@ -1,0 +1,112 @@
+"""Next-field prediction and run-time nonmonotonicity (Section 2.1.1).
+
+Kushman's UltraSPARC-I study: "the implementation of the next-field
+predictors, fetching logic, grouping logic, and branch-prediction logic
+all can lead to the unexpected run-time behavior of programs.  Simple
+code snippets are shown to exhibit non-deterministic performance -- a
+program, executed twice on the same processor under identical
+conditions, has run times that vary by up to a factor of three."
+
+:class:`NextFieldPredictor` models the I-cache next-field scheme: each
+instruction-cache line carries one predicted successor.  A "simple code
+snippet" that alternates between two successors from the same line is
+deadly: depending on the (uninitialised, effectively random) starting
+state and the update policy, the predictor either locks onto a pattern
+or mispredicts nearly every dispatch.  :func:`run_snippet` measures the
+resulting cycle counts across seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["NextFieldPredictor", "SnippetResult", "run_snippet", "alternating_snippet"]
+
+
+class NextFieldPredictor:
+    """One-entry-per-line next-address predictor.
+
+    ``update="always"`` rewrites the field on every misprediction (the
+    aggressive policy that thrashes on alternation); ``update="sticky"``
+    keeps the first prediction (stable but wrong half the time on
+    alternation).  Initial contents are random, as on real parts whose
+    predictor state survives from whatever ran before.
+    """
+
+    POLICIES = ("always", "sticky")
+
+    def __init__(self, n_lines: int, rng: random.Random, update: str = "always",
+                 target_space: int = 16):
+        if n_lines < 1:
+            raise ValueError(f"n_lines must be >= 1, got {n_lines}")
+        if update not in self.POLICIES:
+            raise ValueError(f"update must be one of {self.POLICIES}, got {update!r}")
+        if target_space < 2:
+            raise ValueError(f"target_space must be >= 2, got {target_space}")
+        self.update = update
+        # Random initial predictions: the "identical conditions" lie.
+        self._table: Dict[int, int] = {
+            line: rng.randrange(target_space) for line in range(n_lines)
+        }
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict(self, line: int, actual_target: int) -> bool:
+        """Dispatch from ``line`` to ``actual_target``; True if predicted."""
+        if line not in self._table:
+            raise ValueError(f"line {line} out of range")
+        self.predictions += 1
+        correct = self._table[line] == actual_target
+        if not correct:
+            self.mispredictions += 1
+            if self.update == "always":
+                self._table[line] = actual_target
+        return correct
+
+    def misprediction_rate(self) -> float:
+        """Mispredictions over predictions (0 if never used)."""
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+@dataclass(frozen=True)
+class SnippetResult:
+    """Cycle count of one snippet execution."""
+
+    dispatches: int
+    mispredictions: int
+    cycles: int
+
+
+def alternating_snippet(n_iterations: int, line: int = 0,
+                        targets: Sequence[int] = (1, 2)) -> List[tuple]:
+    """The pathological snippet: one line alternating between targets."""
+    if n_iterations < 1:
+        raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+    return [(line, targets[i % len(targets)]) for i in range(n_iterations)]
+
+
+def run_snippet(
+    predictor: NextFieldPredictor,
+    snippet: Sequence[tuple],
+    base_cycles: int = 1,
+    mispredict_penalty: int = 5,
+) -> SnippetResult:
+    """Execute ``snippet`` (line, target) pairs through ``predictor``."""
+    if base_cycles <= 0 or mispredict_penalty <= 0:
+        raise ValueError("cycle costs must be > 0")
+    start = predictor.mispredictions
+    cycles = 0
+    for line, target in snippet:
+        if predictor.predict(line, target):
+            cycles += base_cycles
+        else:
+            cycles += base_cycles + mispredict_penalty
+    return SnippetResult(
+        dispatches=len(snippet),
+        mispredictions=predictor.mispredictions - start,
+        cycles=cycles,
+    )

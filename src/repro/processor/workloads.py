@@ -1,0 +1,55 @@
+"""Synthetic address traces for the processor models."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+__all__ = ["working_set_loop", "sequential_trace", "strided_trace", "zipf_trace"]
+
+
+def working_set_loop(
+    working_set_bytes: int,
+    iterations: int,
+    stride: int = 32,
+    base: int = 0,
+) -> List[int]:
+    """Sweep a working set repeatedly (the cache-sizing microbenchmark).
+
+    This is the access pattern the Viking study used to measure
+    *effective* cache size: when the working set fits, steady-state hit
+    rate is ~1; when it exceeds the (possibly masked) capacity, LRU
+    thrashes and every access misses.
+    """
+    if working_set_bytes < stride:
+        raise ValueError("working set smaller than one stride")
+    if iterations < 1 or stride < 1:
+        raise ValueError("iterations and stride must be >= 1")
+    addresses = list(range(base, base + working_set_bytes, stride))
+    return addresses * iterations
+
+
+def sequential_trace(n: int, stride: int = 32, base: int = 0) -> List[int]:
+    """A streaming pass: every line touched once."""
+    if n < 1 or stride < 1:
+        raise ValueError("n and stride must be >= 1")
+    return [base + i * stride for i in range(n)]
+
+
+def strided_trace(n: int, stride: int, base: int = 0) -> List[int]:
+    """Fixed-stride references (column walks, vector gathers)."""
+    if n < 1 or stride < 1:
+        raise ValueError("n and stride must be >= 1")
+    return [base + i * stride for i in range(n)]
+
+
+def zipf_trace(n: int, n_pages: int, rng: random.Random, s: float = 1.2,
+               page_bytes: int = 4096) -> List[int]:
+    """Skewed page-granularity references (hot/cold data)."""
+    if n < 1 or n_pages < 1:
+        raise ValueError("n and n_pages must be >= 1")
+    if s <= 0:
+        raise ValueError(f"s must be > 0, got {s}")
+    weights = [1.0 / (rank + 1) ** s for rank in range(n_pages)]
+    pages = rng.choices(range(n_pages), weights=weights, k=n)
+    return [p * page_bytes for p in pages]

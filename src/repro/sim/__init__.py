@@ -1,0 +1,54 @@
+"""Discrete-event simulation substrate.
+
+The kernel (:mod:`repro.sim.engine`), shared resources
+(:mod:`repro.sim.resources`), deterministic randomness
+(:mod:`repro.sim.random`), tracing (:mod:`repro.sim.trace`) and metrics
+(:mod:`repro.sim.metrics`) on which every simulated component is built.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .metrics import (
+    AvailabilityMeter,
+    LatencyRecorder,
+    LatencySummary,
+    ThroughputMeter,
+    UtilizationMeter,
+)
+from .random import RandomStreams, derive_seed
+from .resources import JobStats, RateServer, Resource, Store
+from .trace import Counter, TimeSeries, TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "Resource",
+    "Store",
+    "RateServer",
+    "JobStats",
+    "RandomStreams",
+    "derive_seed",
+    "Tracer",
+    "TraceRecord",
+    "TimeSeries",
+    "Counter",
+    "ThroughputMeter",
+    "LatencyRecorder",
+    "LatencySummary",
+    "UtilizationMeter",
+    "AvailabilityMeter",
+]

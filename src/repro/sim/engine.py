@@ -1,0 +1,466 @@
+"""Discrete-event simulation engine.
+
+This module is the substrate on which every simulated component in the
+library runs.  It provides a small, deterministic, generator-based
+discrete-event kernel in the style of SimPy:
+
+* :class:`Simulator` -- the event loop and virtual clock.
+* :class:`Event` -- a one-shot occurrence that carries a value or an error.
+* :class:`Timeout` -- an event that fires after a virtual delay.
+* :class:`Process` -- a generator coroutine driven by the events it yields.
+* :class:`AllOf` / :class:`AnyOf` -- event combinators.
+* :class:`Interrupt` -- the exception thrown into an interrupted process.
+
+Determinism matters here: the fail-stutter experiments compare policies
+against each other under identical fault schedules, so two runs with the
+same seed must produce byte-identical traces.  The engine guarantees a
+total order on event execution via a monotonically increasing sequence
+number used as the final heap tie-breaker.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+    "Simulator",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+]
+
+#: Scheduling priority for interrupts, which must preempt same-time events.
+PRIORITY_URGENT = 0
+#: Default scheduling priority.
+PRIORITY_NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the engine (double trigger, bad yield, ...)."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception used by :meth:`Simulator.run`."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a :class:`Process` by :meth:`Process.interrupt`.
+
+    The interrupted process may catch it and continue; ``cause`` carries
+    whatever object the interrupter supplied (e.g. a fault record).
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*, becomes *triggered* once it has a value (or
+    error) and is sitting in the simulator's queue, and becomes *processed*
+    after its callbacks have run.  Processes wait on events by yielding
+    them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked with this event when it is processed.  Set to
+        #: ``None`` after processing (appending then is an error).
+        self.callbacks: Optional[list] = []
+        self._value: Any = Event._PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or was) scheduled."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception object if it failed)."""
+        if self._value is Event._PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, PRIORITY_NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        When a failed event is processed and nothing has *defused* it (no
+        waiting process took responsibility for the error), the exception
+        propagates out of :meth:`Simulator.run` -- errors never pass
+        silently.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, PRIORITY_NORMAL, 0.0)
+        return self
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units of virtual time in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, PRIORITY_NORMAL, delay)
+
+
+class _Initialize(Event):
+    """Internal: kick-starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._enqueue(self, PRIORITY_URGENT, 0.0)
+
+
+class Process(Event):
+    """A generator coroutine running inside the simulation.
+
+    The generator yields :class:`Event` instances (including other
+    processes); each yield suspends the process until the event is
+    processed.  The process itself is an event that succeeds with the
+    generator's return value, so processes compose: ``result = yield
+    sim.process(child())``.
+
+    If a yielded event fails, the exception is re-raised *inside* the
+    generator at the yield point, so processes handle downstream errors
+    with ordinary ``try/except``.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        #: The event this process is currently waiting on (None when it is
+        #: scheduled to run or finished).
+        self._target: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        The interrupt is delivered at the current simulation time with
+        urgent priority.  Interrupting a finished process is an error;
+        interrupting a process waiting on an event simply abandons that
+        wait (the event may still fire later and is ignored by this
+        process).
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        if self._target is None:
+            raise SimulationError(f"{self!r} is not waiting; cannot interrupt")
+        # Detach from the event we were waiting on.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.sim._enqueue(interrupt_event, PRIORITY_URGENT, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                error = SimulationError(
+                    f"process yielded non-event {next_event!r}; yield Event/Timeout/Process"
+                )
+                try:
+                    self._generator.throw(error)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                except BaseException as exc:
+                    self.fail(exc)
+                return
+
+            if next_event.callbacks is not None:
+                # Not yet processed: park until it fires.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                return
+            # Already processed: feed its outcome straight back in.
+            event = next_event
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("events from different simulators")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> list:
+        return [ev._value for ev in self.events]
+
+
+class AllOf(_Condition):
+    """Succeeds with the list of all values once every event succeeds.
+
+    Fails with the first failing event's exception (remaining events are
+    left to run; their failures are defused through this condition).
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Succeeds with the value of the first event to succeed.
+
+    Fails if the first event to trigger fails.  Later events are ignored
+    (and their failures defused).
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+
+class Simulator:
+    """The discrete-event loop and virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def writer():
+            yield sim.timeout(1.5)
+            return "done"
+
+        proc = sim.process(writer())
+        sim.run()
+        assert sim.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._queue: list = []
+        self._seq: int = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    # -- event construction -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a pending :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start ``generator`` as a :class:`Process`."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Wait for every event in ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Wait for the first event in ``events``."""
+        return AnyOf(self, events)
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Call ``fn(*args)`` after ``delay``; returns the firing event."""
+
+        def runner():
+            yield self.timeout(delay)
+            return fn(*args)
+
+        return self.process(runner())
+
+    # -- the loop -----------------------------------------------------------
+
+    def _enqueue(self, event: Event, priority: int, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event.  Raises IndexError if queue empty."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("time went backwards; corrupted queue")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nothing took responsibility for the failure: surface it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that virtual time, inclusive of events at it), or an
+        :class:`Event` (run until it is processed, returning its value or
+        raising its exception).
+        """
+        stop_at = float("inf")
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            if until.callbacks is None:
+                if not until._ok:
+                    raise until._value
+                return until._value
+
+            def _stop(ev: Event) -> None:
+                raise StopSimulation(ev)
+
+            until.callbacks.append(_stop)
+        elif isinstance(until, (int, float)):
+            if until < self._now:
+                raise SimulationError(f"until={until} is in the past (now={self._now})")
+            stop_at = float(until)
+        else:
+            raise SimulationError(f"bad until={until!r}")
+
+        try:
+            while self._queue and self._queue[0][0] <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            ev: Event = stop.value
+            if not ev._ok:
+                ev._defused = True
+                raise ev._value
+            return ev._value
+
+        if isinstance(until, (int, float)) and not isinstance(until, bool):
+            self._now = max(self._now, stop_at) if stop_at != float("inf") else self._now
+        if isinstance(until, Event):
+            raise SimulationError("simulation queue drained before `until` event fired")
+        return None

@@ -1,0 +1,216 @@
+"""Performance metrics for simulated systems.
+
+The paper's benefits argument (Section 3.3) is framed in terms of
+*availability* as defined by Gray & Reuter: "the fraction of the offered
+load that is processed with acceptable response times."
+:class:`AvailabilityMeter` implements exactly that definition; the other
+meters provide the throughput/latency/utilization views the experiments
+report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .engine import Simulator
+
+__all__ = [
+    "ThroughputMeter",
+    "LatencyRecorder",
+    "UtilizationMeter",
+    "AvailabilityMeter",
+    "LatencySummary",
+]
+
+
+class ThroughputMeter:
+    """Counts completed work and reports rates over elapsed time."""
+
+    def __init__(self, sim: Simulator, name: str = "throughput"):
+        self.sim = sim
+        self.name = name
+        self._start = sim.now
+        self.completed_work = 0.0
+        self.completed_jobs = 0
+
+    def record(self, work: float) -> None:
+        """Record ``work`` units completed now."""
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        self.completed_work += work
+        self.completed_jobs += 1
+
+    def reset(self) -> None:
+        """Zero the counters and restart the measurement window."""
+        self._start = self.sim.now
+        self.completed_work = 0.0
+        self.completed_jobs = 0
+
+    @property
+    def elapsed(self) -> float:
+        """Length of the current measurement window."""
+        return self.sim.now - self._start
+
+    def rate(self) -> float:
+        """Completed work per unit time over the window (0 if empty)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.completed_work / self.elapsed
+
+    def job_rate(self) -> float:
+        """Completed jobs per unit time over the window."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.completed_jobs / self.elapsed
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics for a batch of latencies."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+    stddev: float
+
+
+class LatencyRecorder:
+    """Collects per-request latencies and summarises them."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        """Record one request latency."""
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.samples.append(latency)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @staticmethod
+    def _quantile(ordered: List[float], q: float) -> float:
+        """Linear-interpolated quantile of a pre-sorted list."""
+        if not ordered:
+            return 0.0
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = q * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        frac = pos - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]) of recorded latencies."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        return self._quantile(sorted(self.samples), q)
+
+    def summary(self) -> LatencySummary:
+        """Full summary of the recorded latencies."""
+        if not self.samples:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        var = sum((x - mean) ** 2 for x in ordered) / n
+        return LatencySummary(
+            count=n,
+            mean=mean,
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=self._quantile(ordered, 0.50),
+            p90=self._quantile(ordered, 0.90),
+            p99=self._quantile(ordered, 0.99),
+            stddev=math.sqrt(var),
+        )
+
+
+class UtilizationMeter:
+    """Tracks the busy fraction of a component over time."""
+
+    def __init__(self, sim: Simulator, name: str = "utilization"):
+        self.sim = sim
+        self.name = name
+        self._busy_since: Optional[float] = None
+        self._busy_total = 0.0
+        self._start = sim.now
+
+    def set_busy(self) -> None:
+        """Mark the component busy (idempotent)."""
+        if self._busy_since is None:
+            self._busy_since = self.sim.now
+
+    def set_idle(self) -> None:
+        """Mark the component idle (idempotent)."""
+        if self._busy_since is not None:
+            self._busy_total += self.sim.now - self._busy_since
+            self._busy_since = None
+
+    def utilization(self) -> float:
+        """Busy fraction since construction (in [0, 1])."""
+        elapsed = self.sim.now - self._start
+        if elapsed <= 0:
+            return 0.0
+        busy = self._busy_total
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        return min(1.0, busy / elapsed)
+
+
+class AvailabilityMeter:
+    """Gray & Reuter availability: fraction of load served within an SLO.
+
+    Each offered request is recorded with its response time (or as
+    *unserved* if it never completed); availability is the fraction whose
+    response time was at most ``slo``.
+    """
+
+    def __init__(self, slo: float, name: str = "availability"):
+        if slo <= 0:
+            raise ValueError(f"slo must be > 0, got {slo}")
+        self.slo = slo
+        self.name = name
+        self.offered = 0
+        self.within_slo = 0
+        self.response_times: List[float] = []
+
+    def record(self, response_time: Optional[float]) -> None:
+        """Record one offered request.
+
+        ``response_time`` of ``None`` means the request was never served
+        (it still counts against availability).
+        """
+        self.offered += 1
+        if response_time is None:
+            self.response_times.append(float("inf"))
+            return
+        if response_time < 0:
+            raise ValueError(f"response time must be >= 0, got {response_time}")
+        self.response_times.append(response_time)
+        if response_time <= self.slo:
+            self.within_slo += 1
+
+    def availability(self) -> float:
+        """Fraction of offered load served within the SLO (in [0, 1])."""
+        if self.offered == 0:
+            return 1.0
+        return self.within_slo / self.offered
+
+    def availability_at(self, slo: float) -> float:
+        """Availability recomputed against a different SLO.
+
+        Monotone nondecreasing in ``slo`` by construction.
+        """
+        if self.offered == 0:
+            return 1.0
+        return sum(1 for r in self.response_times if r <= slo) / self.offered

@@ -1,0 +1,322 @@
+"""Shared resources for simulated components.
+
+Three primitives cover every component model in the library:
+
+* :class:`Resource` -- a counted FIFO semaphore (SCSI bus ownership, switch
+  ports, memory frames).
+* :class:`Store` -- a producer/consumer buffer (task queues, switch buffer
+  pools).
+* :class:`RateServer` -- a FIFO work server whose service *rate* can change
+  at any instant.  This is the primitive that makes performance faults
+  first-class: a fault injector calls :meth:`RateServer.set_rate` and any
+  in-flight job's completion is transparently rescheduled so that exactly
+  the remaining work is served at the new rate.  Work is conserved across
+  arbitrarily many rate changes (see the property tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Optional
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "RateServer", "JobStats"]
+
+#: Tolerance for floating-point work accounting.
+_EPSILON = 1e-9
+
+
+class Resource:
+    """A counted FIFO semaphore.
+
+    ``capacity`` slots; :meth:`request` returns an event that succeeds when
+    a slot is granted (immediately if one is free), and :meth:`release`
+    frees a slot, granting it to the oldest waiter.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        #: Total number of grants ever issued (for tests/metrics).
+        self.grants = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Ask for a slot; the returned event fires when it is granted."""
+        event = self.sim.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.grants += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free a held slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without matching request()")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            self.grants += 1
+            waiter.succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """A FIFO buffer of items with optional capacity.
+
+    ``put`` blocks (returns a pending event) when the store is full;
+    ``get`` blocks when it is empty.  Items are handed to getters in FIFO
+    order, which keeps pull-based schedulers fair.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the event fires once it is accepted."""
+        event = self.sim.event()
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(item)
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed(item)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event fires with it."""
+        event = self.sim.event()
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                putter, pending = self._putters.popleft()
+                self._items.append(pending)
+                putter.succeed(pending)
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+
+@dataclass
+class JobStats:
+    """Completion record returned by :meth:`RateServer.submit` events."""
+
+    size: float
+    submitted_at: float
+    started_at: float = 0.0
+    completed_at: float = 0.0
+    tag: Any = None
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent queued before service began."""
+        return self.started_at - self.submitted_at
+
+    @property
+    def service_time(self) -> float:
+        """Time spent in service (includes slowdowns mid-service)."""
+        return self.completed_at - self.started_at
+
+    @property
+    def response_time(self) -> float:
+        """Queueing delay plus service time."""
+        return self.completed_at - self.submitted_at
+
+
+@dataclass
+class _Job:
+    size: float
+    remaining: float
+    event: Event
+    stats: JobStats
+    field: Any = None
+
+
+class RateServer:
+    """FIFO server with a time-varying service rate.
+
+    Jobs carry a *size* in work units; the server drains the head job at
+    ``rate`` units per unit time.  :meth:`set_rate` may be called at any
+    instant -- including while a job is in service -- and the in-flight
+    job's completion is rescheduled so that precisely its remaining work is
+    served at the new rate.  A rate of ``0`` models a stalled component
+    (thermal recalibration, bus reset, GC pause): the job is frozen until
+    the rate becomes positive again.
+
+    This is the mechanism by which *performance faults* act on simulated
+    components, and the mechanism by which adaptive policies observe them
+    (through job response times).
+    """
+
+    def __init__(self, sim: Simulator, rate: float, name: str = "server"):
+        if rate < 0:
+            raise SimulationError(f"rate must be >= 0, got {rate}")
+        self.sim = sim
+        self.name = name
+        self._rate = float(rate)
+        self._queue: Deque[_Job] = deque()
+        self._current: Optional[_Job] = None
+        self._last_update = sim.now
+        self._token = 0
+        # Metrics.
+        self.jobs_completed = 0
+        self.work_completed = 0.0
+        self._busy_since: Optional[float] = None
+        self.busy_time = 0.0
+
+    # -- public surface ------------------------------------------------------
+
+    @property
+    def rate(self) -> float:
+        """Current service rate in work units per unit time."""
+        return self._rate
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting behind the one in service."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """True while a job is in service (even at rate 0)."""
+        return self._current is not None
+
+    def submit(self, size: float, tag: Any = None) -> Event:
+        """Enqueue ``size`` units of work; event fires with :class:`JobStats`."""
+        if size <= 0:
+            raise SimulationError(f"job size must be > 0, got {size}")
+        stats = JobStats(size=size, submitted_at=self.sim.now, tag=tag)
+        job = _Job(size=size, remaining=float(size), event=self.sim.event(), stats=stats)
+        self._queue.append(job)
+        if self._current is None:
+            self._start_next()
+        return job.event
+
+    def set_rate(self, rate: float) -> None:
+        """Change the service rate, rescaling any in-flight job."""
+        if rate < 0:
+            raise SimulationError(f"rate must be >= 0, got {rate}")
+        self._accrue()
+        self._rate = float(rate)
+        if self._current is not None:
+            self._schedule_completion()
+
+    def drain(self) -> Event:
+        """Event that fires when the server next becomes idle.
+
+        Fires immediately if the server is already idle.
+        """
+        event = self.sim.event()
+        if self._current is None and not self._queue:
+            event.succeed(None)
+            return event
+
+        def watch():
+            while self._current is not None or self._queue:
+                current = self._current
+                if current is not None:
+                    yield self.sim.any_of([current.event])
+                else:  # queued but not started: should not persist; yield a beat
+                    yield self.sim.timeout(0)
+            event.succeed(None)
+
+        self.sim.process(watch())
+        return event
+
+    # -- internals -----------------------------------------------------------
+
+    def _accrue(self) -> None:
+        """Charge elapsed work against the in-flight job."""
+        now = self.sim.now
+        if self._current is not None and self._rate > 0:
+            self._current.remaining -= (now - self._last_update) * self._rate
+            if self._current.remaining < 0:
+                self._current.remaining = 0.0
+        self._last_update = now
+
+    def _start_next(self) -> None:
+        job = self._queue.popleft()
+        job.stats.started_at = self.sim.now
+        self._current = job
+        self._last_update = self.sim.now
+        if self._busy_since is None:
+            self._busy_since = self.sim.now
+        self._schedule_completion()
+
+    def _schedule_completion(self) -> None:
+        self._token += 1
+        token = self._token
+        if self._rate <= 0:
+            return  # frozen: completion rescheduled when rate rises
+        eta = self._current.remaining / self._rate
+
+        def check():
+            yield self.sim.timeout(eta)
+            self._maybe_complete(token)
+
+        self.sim.process(check())
+
+    def _maybe_complete(self, token: int) -> None:
+        if token != self._token or self._current is None:
+            return  # stale completion from before a rate change
+        self._accrue()
+        if self._current.remaining > _EPSILON:
+            self._schedule_completion()
+            return
+        job = self._current
+        self._current = None
+        job.stats.completed_at = self.sim.now
+        self.jobs_completed += 1
+        self.work_completed += job.size
+        job.event.succeed(job.stats)
+        if self._queue:
+            self._start_next()
+        elif self._busy_since is not None:
+            self.busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time busy since t=0 (or over ``elapsed``)."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        span = elapsed if elapsed is not None else self.sim.now
+        if span <= 0:
+            return 0.0
+        return min(1.0, busy / span)

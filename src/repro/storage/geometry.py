@@ -1,0 +1,117 @@
+"""Multi-zone disk geometry.
+
+Section 2.1.2 ("Geometry"): "disks have multiple zones, with performance
+across zones differing by up to a factor of two.  ...unless disks are
+treated identically, different disks will have different layouts and thus
+different performance characteristics."
+
+A :class:`ZoneGeometry` maps a logical block address to the transfer rate
+of the zone holding it.  Outer zones (low addresses, by convention here)
+pack more sectors per track and therefore stream faster.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["Zone", "ZoneGeometry", "uniform_geometry", "zoned_geometry"]
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A contiguous run of blocks served at one transfer rate."""
+
+    blocks: int
+    rate: float  # MB/s while streaming inside this zone
+
+    def __post_init__(self):
+        if self.blocks <= 0:
+            raise ValueError(f"zone must hold > 0 blocks, got {self.blocks}")
+        if self.rate <= 0:
+            raise ValueError(f"zone rate must be > 0, got {self.rate}")
+
+
+class ZoneGeometry:
+    """The zone table of one disk.
+
+    Blocks are addressed ``0 .. capacity_blocks - 1``; zone boundaries are
+    cumulative.  Lookup is O(log zones).
+    """
+
+    def __init__(self, zones: Sequence[Zone]):
+        if not zones:
+            raise ValueError("need at least one zone")
+        self.zones: List[Zone] = list(zones)
+        self._bounds: List[int] = []
+        total = 0
+        for zone in self.zones:
+            total += zone.blocks
+            self._bounds.append(total)
+        self.capacity_blocks = total
+
+    def zone_of(self, lba: int) -> Zone:
+        """The zone containing logical block ``lba``."""
+        if not 0 <= lba < self.capacity_blocks:
+            raise ValueError(f"lba {lba} outside [0, {self.capacity_blocks})")
+        return self.zones[bisect_right(self._bounds, lba)]
+
+    def rate_at(self, lba: int) -> float:
+        """Streaming transfer rate (MB/s) at ``lba``."""
+        return self.zone_of(lba).rate
+
+    @property
+    def max_rate(self) -> float:
+        """Fastest (outermost) zone rate: the disk's headline bandwidth."""
+        return max(z.rate for z in self.zones)
+
+    @property
+    def min_rate(self) -> float:
+        """Slowest (innermost) zone rate."""
+        return min(z.rate for z in self.zones)
+
+    def mean_rate(self) -> float:
+        """Capacity-weighted mean transfer rate."""
+        total = sum(z.blocks * z.rate for z in self.zones)
+        return total / self.capacity_blocks
+
+    def __repr__(self) -> str:
+        return (
+            f"ZoneGeometry({len(self.zones)} zones, {self.capacity_blocks} blocks, "
+            f"{self.min_rate:.2f}-{self.max_rate:.2f} MB/s)"
+        )
+
+
+def uniform_geometry(capacity_blocks: int, rate: float) -> ZoneGeometry:
+    """A single-zone disk: constant ``rate`` everywhere."""
+    return ZoneGeometry([Zone(capacity_blocks, rate)])
+
+
+def zoned_geometry(
+    capacity_blocks: int,
+    outer_rate: float,
+    inner_rate: float,
+    n_zones: int = 8,
+) -> ZoneGeometry:
+    """A realistic multi-zone profile tapering from outer to inner rate.
+
+    With the paper's factor-of-two spread: ``zoned_geometry(N, 11.0, 5.5)``.
+    Zones are equal-sized except the last absorbs the remainder.
+    """
+    if n_zones < 1:
+        raise ValueError(f"n_zones must be >= 1, got {n_zones}")
+    if capacity_blocks < n_zones:
+        raise ValueError(f"capacity {capacity_blocks} smaller than n_zones {n_zones}")
+    if outer_rate < inner_rate:
+        raise ValueError("outer zones are faster: need outer_rate >= inner_rate")
+    base = capacity_blocks // n_zones
+    zones = []
+    for i in range(n_zones):
+        blocks = base if i < n_zones - 1 else capacity_blocks - base * (n_zones - 1)
+        if n_zones == 1:
+            rate = outer_rate
+        else:
+            rate = outer_rate - (outer_rate - inner_rate) * i / (n_zones - 1)
+        zones.append(Zone(blocks, rate))
+    return ZoneGeometry(zones)

@@ -1,0 +1,197 @@
+"""A log-structured file system with a segment cleaner (Section 2.2.1).
+
+The paper lists "cleaners in log-structured file systems" among the
+background operations that make components performance-faulty from the
+outside: foreground writes stream at disk speed until free segments run
+low, then the cleaner steals bandwidth to compact live data, and write
+latency stutters -- no hardware misbehaving anywhere.
+
+:class:`LogFs` models the segment economics: appends consume free
+segments; overwrites make old blocks dead; the cleaner picks fragmented
+segments (lowest live ratio first), copies the live blocks forward and
+frees the rest.  Cleaning I/O goes through the same disk as foreground
+writes, so the interference emerges rather than being scripted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..sim.engine import Process, Simulator
+from .disk import Disk
+
+__all__ = ["LfsConfig", "LfsStats", "LogFs"]
+
+
+@dataclass(frozen=True)
+class LfsConfig:
+    """Segment geometry and cleaning policy."""
+
+    segment_blocks: int = 64
+    n_segments: int = 64
+    #: Cleaning starts when free segments drop to this count...
+    clean_low_water: int = 8
+    #: ...and stops once this many are free again.
+    clean_high_water: int = 16
+
+    def __post_init__(self):
+        if self.segment_blocks < 1 or self.n_segments < 2:
+            raise ValueError("segment geometry too small")
+        if not 1 <= self.clean_low_water < self.clean_high_water <= self.n_segments:
+            raise ValueError("need 1 <= low water < high water <= n_segments")
+
+
+@dataclass
+class LfsStats:
+    """Operation counters."""
+
+    appends: int = 0
+    cleanings: int = 0
+    blocks_copied: int = 0
+    segments_freed: int = 0
+
+
+class LogFs:
+    """An append-only log over one disk, with a background cleaner."""
+
+    def __init__(self, sim: Simulator, disk: Disk, config: LfsConfig = LfsConfig()):
+        needed = config.segment_blocks * config.n_segments
+        if disk.geometry.capacity_blocks < needed:
+            raise ValueError(
+                f"disk of {disk.geometry.capacity_blocks} blocks too small for "
+                f"{needed}-block log"
+            )
+        self.sim = sim
+        self.disk = disk
+        self.config = config
+        #: Segment index -> set of live file-block ids stored there.
+        self._live: Dict[int, Set[int]] = {i: set() for i in range(config.n_segments)}
+        self._free: List[int] = list(range(1, config.n_segments))
+        self._head_segment = 0
+        self._head_offset = 0
+        #: file block id -> (segment, offset).
+        self._where: Dict[int, tuple] = {}
+        self.stats = LfsStats()
+        self._cleaning = False
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def free_segments(self) -> int:
+        """Segments fully available for new appends."""
+        return len(self._free)
+
+    def live_blocks(self) -> int:
+        """File blocks currently reachable."""
+        return len(self._where)
+
+    def utilization_of(self, segment: int) -> float:
+        """Live fraction of one segment."""
+        return len(self._live[segment]) / self.config.segment_blocks
+
+    # -- write path ------------------------------------------------------------
+
+    def write(self, block_id: int) -> Process:
+        """Append (or overwrite) one file block; returns its new location.
+
+        An overwrite kills the block's previous copy, creating the dead
+        space the cleaner later reclaims.
+        """
+        if block_id < 0:
+            raise ValueError(f"block_id must be >= 0, got {block_id}")
+
+        def go():
+            if self.free_segments <= self.config.clean_low_water:
+                self._start_cleaner()
+            if self._head_offset >= self.config.segment_blocks:
+                yield from self._roll_segment()
+            segment, offset = self._head_segment, self._head_offset
+            self._head_offset += 1
+            lba = segment * self.config.segment_blocks + offset
+            yield self.disk.write(lba, 1, value=block_id)
+            old = self._where.get(block_id)
+            if old is not None:
+                self._live[old[0]].discard(block_id)
+            self._where[block_id] = (segment, offset)
+            self._live[segment].add(block_id)
+            self.stats.appends += 1
+            return (segment, offset)
+
+        return self.sim.process(go())
+
+    def _roll_segment(self):
+        """Advance the log head to a fresh segment (may have to wait)."""
+        while not self._free:
+            self._start_cleaner()
+            yield self.sim.timeout(0.01)  # wait for the cleaner to free space
+        self._head_segment = self._free.pop(0)
+        self._head_offset = 0
+
+    # -- cleaner -------------------------------------------------------------------
+
+    def _start_cleaner(self) -> None:
+        if self._cleaning:
+            return
+        self._cleaning = True
+        self.sim.process(self._clean())
+
+    def _clean(self):
+        """Segment-granularity cleaning: big reads and writes.
+
+        Working at segment granularity is LFS's bargain -- and exactly
+        what makes the cleaner visible to foreground writers: each
+        victim costs one segment-sized read plus batch writes of its
+        live blocks, queued FIFO ahead of whoever arrives next.
+        """
+        self.stats.cleanings += 1
+        seg_blocks = self.config.segment_blocks
+        try:
+            while self.free_segments < self.config.clean_high_water:
+                victim = self._pick_victim()
+                if victim is None:
+                    return  # nothing reclaimable
+                live = sorted(self._live[victim])
+                if live:
+                    # One big read of the victim segment.
+                    yield self.disk.read(victim * seg_blocks, seg_blocks)
+                remaining = [
+                    b for b in live if self._where.get(b, (None,))[0] == victim
+                ]
+                while remaining:
+                    if self._head_offset >= seg_blocks:
+                        if not self._free:
+                            return  # out of space even for cleaning
+                        self._head_segment = self._free.pop(0)
+                        self._head_offset = 0
+                    span = min(len(remaining), seg_blocks - self._head_offset)
+                    batch = remaining[:span]
+                    remaining = remaining[span:]
+                    new_segment, start_offset = self._head_segment, self._head_offset
+                    self._head_offset += span
+                    new_lba = new_segment * seg_blocks + start_offset
+                    yield self.disk.write(new_lba, span)
+                    for i, block_id in enumerate(batch):
+                        self._live[victim].discard(block_id)
+                        self._where[block_id] = (new_segment, start_offset + i)
+                        self._live[new_segment].add(block_id)
+                    self.stats.blocks_copied += span
+                self._live[victim] = set()
+                self._free.append(victim)
+                self.stats.segments_freed += 1
+        finally:
+            self._cleaning = False
+
+    def _pick_victim(self) -> Optional[int]:
+        """Lowest-utilization full segment (greedy cleaning policy)."""
+        candidates = [
+            s
+            for s in range(self.config.n_segments)
+            if s != self._head_segment and s not in self._free
+        ]
+        if not candidates:
+            return None
+        victim = min(candidates, key=lambda s: (len(self._live[s]), s))
+        if len(self._live[victim]) >= self.config.segment_blocks:
+            return None  # everything fully live: cleaning cannot help
+        return victim

@@ -1,0 +1,268 @@
+"""The three striping policies of the paper's Section 3.2 example.
+
+The workload: write ``D`` data blocks in parallel across ``N`` mirror
+pairs (RAID-10).  The three scenarios, in order of increasingly realistic
+performance assumptions:
+
+1. :class:`UniformStriping` -- the *fail-stop illusion*: each pair gets
+   ``D / N`` blocks.  If one pair writes at ``b < B``, finish time tracks
+   the slow pair and perceived throughput collapses to ``N * b``.
+2. :class:`ProportionalStriping` -- performance faults assumed *static*:
+   gauge each pair once "at installation" and stripe proportionally to
+   the measured ratios.  Under a purely static skew, throughput rises to
+   ``(N - 1) * B + b``; but "if any disk does not perform as expected
+   over time, performance again tracks the slow disk."
+3. :class:`AdaptiveStriping` -- general performance faults: continually
+   gauge and write "blocks across mirror-pairs in proportion to their
+   current rates", implemented as pull-based assignment.  The cost the
+   paper highlights is bookkeeping: "the controller must record where
+   each block is written", so the result carries the per-block map (the
+   A4 ablation measures its size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..faults.model import ComponentStopped
+from ..sim.engine import Process, Simulator
+from ..sim.resources import Store
+from .raid import Raid1Pair
+
+__all__ = [
+    "StripingResult",
+    "StripingPolicy",
+    "UniformStriping",
+    "ProportionalStriping",
+    "AdaptiveStriping",
+]
+
+
+@dataclass
+class StripingResult:
+    """Outcome of one D-block parallel write under a striping policy."""
+
+    policy: str
+    n_blocks: int
+    block_size_mb: float
+    started_at: float
+    finished_at: float
+    blocks_per_pair: List[int]
+    #: block -> (pair_index, lba); populated only by policies that must
+    #: keep per-block bookkeeping (the adaptive scenario).
+    block_map: Dict[int, tuple] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock (virtual) seconds for the whole write."""
+        return self.finished_at - self.started_at
+
+    @property
+    def throughput_mb_s(self) -> float:
+        """Perceived write throughput in MB/s."""
+        if self.duration <= 0:
+            return float("inf")
+        return self.n_blocks * self.block_size_mb / self.duration
+
+    @property
+    def bookkeeping_entries(self) -> int:
+        """Size of the location map the controller had to record."""
+        return len(self.block_map)
+
+
+class StripingPolicy:
+    """Base: writes ``n_blocks`` across mirror pairs, returns a result."""
+
+    name = "base"
+
+    def run(
+        self,
+        sim: Simulator,
+        pairs: Sequence[Raid1Pair],
+        n_blocks: int,
+        block_value: Optional[int] = None,
+    ) -> Process:
+        """Start the parallel write; the process returns a StripingResult."""
+        if not pairs:
+            raise ValueError("need at least one mirror pair")
+        if n_blocks <= 0:
+            raise ValueError(f"n_blocks must be > 0, got {n_blocks}")
+        return sim.process(self._go(sim, list(pairs), n_blocks, block_value))
+
+    def _go(self, sim, pairs, n_blocks, block_value):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    @staticmethod
+    def _block_size_mb(pairs: Sequence[Raid1Pair]) -> float:
+        return pairs[0].primary.params.block_size_mb
+
+    @staticmethod
+    def _write_share(sim, pair: Raid1Pair, count: int, value) -> Process:
+        """Sequentially write ``count`` blocks to one pair at lba 0.."""
+
+        def go():
+            for lba in range(count):
+                yield pair.write(lba, 1, value=value)
+
+        return sim.process(go())
+
+
+class UniformStriping(StripingPolicy):
+    """Scenario 1: fail-stop assumptions, equal shares for every pair."""
+
+    name = "uniform"
+
+    def _go(self, sim, pairs, n_blocks, block_value):
+        start = sim.now
+        n = len(pairs)
+        base, extra = divmod(n_blocks, n)
+        shares = [base + (1 if i < extra else 0) for i in range(n)]
+        writers = [
+            self._write_share(sim, pair, count, block_value)
+            for pair, count in zip(pairs, shares)
+            if count > 0
+        ]
+        yield sim.all_of(writers)
+        return StripingResult(
+            policy=self.name,
+            n_blocks=n_blocks,
+            block_size_mb=self._block_size_mb(pairs),
+            started_at=start,
+            finished_at=sim.now,
+            blocks_per_pair=shares,
+        )
+
+
+class ProportionalStriping(StripingPolicy):
+    """Scenario 2: gauge once at installation, stripe by the ratios.
+
+    ``gauge_rates`` may be passed explicitly (e.g. from a probe run); by
+    default the policy reads each pair's *current* effective streaming
+    rate, which models gauging at installation time -- before any
+    post-installation rate change.
+    """
+
+    name = "proportional"
+
+    def __init__(self, gauge_rates: Optional[Sequence[float]] = None):
+        self.gauge_rates = list(gauge_rates) if gauge_rates is not None else None
+
+    @staticmethod
+    def gauge(pair: Raid1Pair) -> float:
+        """A pair's observable streaming write rate right now (MB/s)."""
+        live = pair.live_disks
+        if not live:
+            return 0.0
+        return min(d.sequential_bandwidth() * d.effective_rate for d in live)
+
+    @staticmethod
+    def partition(n_blocks: int, rates: Sequence[float]) -> List[int]:
+        """Largest-remainder apportionment of blocks to rates."""
+        total = sum(rates)
+        if total <= 0:
+            raise ValueError("no pair has positive rate")
+        ideal = [n_blocks * r / total for r in rates]
+        shares = [int(x) for x in ideal]
+        remainders = sorted(
+            range(len(rates)), key=lambda i: ideal[i] - shares[i], reverse=True
+        )
+        for i in remainders[: n_blocks - sum(shares)]:
+            shares[i] += 1
+        return shares
+
+    def _go(self, sim, pairs, n_blocks, block_value):
+        start = sim.now
+        rates = self.gauge_rates or [self.gauge(p) for p in pairs]
+        if len(rates) != len(pairs):
+            raise ValueError(f"got {len(rates)} gauge rates for {len(pairs)} pairs")
+        shares = self.partition(n_blocks, rates)
+        writers = [
+            self._write_share(sim, pair, count, block_value)
+            for pair, count in zip(pairs, shares)
+            if count > 0
+        ]
+        yield sim.all_of(writers)
+        return StripingResult(
+            policy=self.name,
+            n_blocks=n_blocks,
+            block_size_mb=self._block_size_mb(pairs),
+            started_at=start,
+            finished_at=sim.now,
+            blocks_per_pair=shares,
+        )
+
+
+class AdaptiveStriping(StripingPolicy):
+    """Scenario 3: pull-based assignment tracks *current* rates.
+
+    Every pair runs a worker that pulls the next unwritten block from a
+    shared queue; fast pairs naturally absorb more blocks, and a pair
+    that stalls mid-run simply stops pulling.  The price is the per-block
+    location map the controller must maintain.
+
+    ``inflight_per_pair`` controls how many blocks a worker claims ahead
+    of completion; 1 is maximally adaptive (at most one block stranded on
+    a stalling pair).
+    """
+
+    name = "adaptive"
+
+    def __init__(self, inflight_per_pair: int = 1):
+        if inflight_per_pair < 1:
+            raise ValueError(f"inflight_per_pair must be >= 1, got {inflight_per_pair}")
+        self.inflight_per_pair = inflight_per_pair
+
+    def _go(self, sim, pairs, n_blocks, block_value):
+        start = sim.now
+        queue = Store(sim)
+        for block in range(n_blocks):
+            queue.put(block)
+        block_map: Dict[int, tuple] = {}
+        counts = [0] * len(pairs)
+        next_lba = [0] * len(pairs)  # shared across a pair's workers
+        n_workers = len(pairs) * self.inflight_per_pair
+
+        def finish_check():
+            # Once every block is placed, release the workers still waiting
+            # on the queue with one sentinel each.
+            if len(block_map) == n_blocks:
+                for __ in range(n_workers):
+                    queue.put(None)
+
+        def worker(index: int, pair: Raid1Pair):
+            while True:
+                block = yield queue.get()
+                if block is None:
+                    return
+                lba = next_lba[index]
+                next_lba[index] += 1
+                try:
+                    yield pair.write(lba, 1, value=block_value)
+                except ComponentStopped:
+                    # Pair lost both members mid-write: hand the block back
+                    # for a surviving pair and retire this worker.
+                    queue.put(block)
+                    return
+                block_map[block] = (index, lba)
+                counts[index] += 1
+                finish_check()
+
+        workers = [
+            sim.process(worker(i, pair))
+            for i, pair in enumerate(pairs)
+            for __ in range(self.inflight_per_pair)
+        ]
+        yield sim.all_of(workers)
+        if len(block_map) < n_blocks:
+            raise ComponentStopped("raid10")  # every pair failed with work left
+        return StripingResult(
+            policy=self.name,
+            n_blocks=n_blocks,
+            block_size_mb=self._block_size_mb(pairs),
+            started_at=start,
+            finished_at=sim.now,
+            blocks_per_pair=counts,
+            block_map=block_map,
+        )

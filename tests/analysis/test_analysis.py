@@ -1,0 +1,141 @@
+"""Unit tests for the analysis utilities."""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    availability_curve,
+    confidence_interval,
+    cross,
+    geometric_mean,
+    ratio,
+    summarize,
+    sweep,
+    unavailability_nines,
+)
+from repro.sim import AvailabilityMeter
+
+
+class TestTable:
+    def test_render_contains_title_columns_rows(self):
+        table = Table("E1: RAID-10", ["policy", "MB/s"])
+        table.add_row("uniform", 11.0)
+        table.add_row("adaptive", 19.25)
+        text = table.render()
+        assert "E1: RAID-10" in text
+        assert "policy" in text and "MB/s" in text
+        assert "uniform" in text and "adaptive" in text
+        assert "19.2" in text
+
+    def test_column_accessor(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+        with pytest.raises(KeyError):
+            table.column("c")
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_note_rendered(self):
+        table = Table("t", ["a"], note="shape only")
+        table.add_row(1)
+        assert "note: shape only" in table.render()
+
+    def test_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row(True)
+        table.add_row(123456.0)
+        table.add_row(float("inf"))
+        table.add_row(0.00123)
+        text = table.render()
+        assert "yes" in text
+        assert "123,456" in text
+        assert "inf" in text
+        assert "0.00123" in text
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", [])
+
+    def test_len(self):
+        table = Table("t", ["a"])
+        assert len(table) == 0
+        table.add_row(1)
+        assert len(table) == 1
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.stddev == pytest.approx(1.118, rel=0.01)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_confidence_interval_contains_mean(self):
+        lo, hi = confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert lo < 3.0 < hi
+
+    def test_confidence_interval_single_sample(self):
+        assert confidence_interval([2.0]) == (2.0, 2.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([0.0, 1.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_ratio(self):
+        assert ratio(4.0, 2.0) == 2.0
+        assert ratio(1.0, 0.0) == float("inf")
+
+
+class TestSweep:
+    def test_sweep_collects_pairs(self):
+        result = sweep([1, 2, 3], lambda x: x * 10)
+        assert result == [(1, 10), (2, 20), (3, 30)]
+
+    def test_cross_product_deterministic(self):
+        combos = cross(b=["x"], a=[1, 2])
+        assert combos == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_cross_empty(self):
+        assert cross() == [{}]
+
+
+class TestAvailability:
+    def _meter(self):
+        meter = AvailabilityMeter(slo=1.0)
+        for r in [0.1, 0.5, 1.5, 3.0, None]:
+            meter.record(r)
+        return meter
+
+    def test_curve_monotone(self):
+        curve = availability_curve(self._meter(), [0.2, 1.0, 5.0])
+        values = [a for __, a in curve]
+        assert values == sorted(values)
+        assert curve[0] == (0.2, pytest.approx(0.2))
+        assert curve[-1] == (5.0, pytest.approx(0.8))
+
+    def test_curve_validation(self):
+        with pytest.raises(ValueError):
+            availability_curve(self._meter(), [])
+        with pytest.raises(ValueError):
+            availability_curve(self._meter(), [0.0])
+
+    def test_nines(self):
+        assert unavailability_nines(0.999) == pytest.approx(3.0)
+        assert unavailability_nines(1.0) == float("inf")
+        assert unavailability_nines(0.0) == 0.0
+        with pytest.raises(ValueError):
+            unavailability_nines(1.5)

@@ -1,0 +1,91 @@
+"""Unit tests for interactive jobs vs. memory hogs (E10 shape)."""
+
+import pytest
+
+from repro.cluster import InteractiveJob, MemoryHog, Node
+from repro.sim import Simulator
+
+
+def make_setup(memory_mb=512.0, cpu_rate=20.0):
+    sim = Simulator()
+    node = Node(sim, "n0", cpu_rate=cpu_rate, memory_mb=memory_mb)
+    return sim, node
+
+
+class TestHealthyInteractive:
+    def test_response_is_cpu_only_when_memory_fits(self):
+        sim, node = make_setup()
+        job = InteractiveJob(sim, node, working_set_mb=64.0, op_cpu_mb=1.0, think_time=0.1)
+        result = sim.run(until=job.run(5))
+        assert all(rt == pytest.approx(0.05) for rt in result.response_times)
+
+    def test_memory_released_after_run(self):
+        sim, node = make_setup()
+        job = InteractiveJob(sim, node, working_set_mb=64.0)
+        sim.run(until=job.run(2))
+        assert node.memory.reserved("interactive") == 0.0
+
+
+class TestMemoryHogInterference:
+    def test_hog_inflates_response_time(self):
+        """The Brown & Mowry shape: tens-of-times-worse response."""
+        sim, node = make_setup(memory_mb=512.0)
+        MemoryHog(resident_mb=480.0).attach(sim, node)
+        job = InteractiveJob(
+            sim,
+            node,
+            working_set_mb=64.0,
+            op_cpu_mb=1.0,
+            page_in_rate=5.0,
+            think_time=0.1,
+        )
+        healthy_time = 1.0 / 20.0
+        result = sim.run(until=job.run(5))
+        # Missing 32 MB at 5 MB/s => 6.4 s paging vs 0.05 s compute.
+        slowdown = result.mean / healthy_time
+        assert slowdown > 40.0
+
+    def test_slowdown_scales_with_hog_size(self):
+        def run(hog_mb):
+            sim, node = make_setup()
+            if hog_mb:
+                MemoryHog(resident_mb=hog_mb).attach(sim, node)
+            job = InteractiveJob(sim, node, working_set_mb=64.0, think_time=0.0)
+            result = sim.run(until=job.run(3))
+            return result.mean
+
+        assert run(0) < run(470.0) < run(500.0)
+
+    def test_recovery_after_hog_leaves(self):
+        sim, node = make_setup()
+        MemoryHog(resident_mb=480.0, at=0.0, duration=10.0).attach(sim, node)
+        job = InteractiveJob(
+            sim, node, working_set_mb=64.0, page_in_rate=5.0, think_time=1.0
+        )
+        result = sim.run(until=job.run(20))
+        assert result.worst > 5.0  # hit while the hog was resident
+        assert result.response_times[-1] == pytest.approx(0.05)  # recovered
+
+    def test_residency_accounting(self):
+        sim, node = make_setup(memory_mb=512.0)
+        MemoryHog(resident_mb=480.0).attach(sim, node)
+        sim.run()
+        job = InteractiveJob(sim, node, working_set_mb=64.0)
+        assert job.resident_mb() == pytest.approx(32.0)
+        assert job.missing_mb() == pytest.approx(32.0)
+
+
+class TestValidation:
+    def test_bad_params_rejected(self):
+        sim, node = make_setup()
+        with pytest.raises(ValueError):
+            InteractiveJob(sim, node, working_set_mb=0.0)
+        with pytest.raises(ValueError):
+            InteractiveJob(sim, node, op_cpu_mb=0.0)
+        with pytest.raises(ValueError):
+            InteractiveJob(sim, node, page_in_rate=0.0)
+        with pytest.raises(ValueError):
+            InteractiveJob(sim, node, think_time=-1.0)
+        job = InteractiveJob(sim, node)
+        with pytest.raises(ValueError):
+            job.run(0)

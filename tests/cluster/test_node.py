@@ -1,0 +1,117 @@
+"""Unit tests for nodes, memory and interference."""
+
+import pytest
+
+from repro.cluster import CpuHog, Memory, MemoryHog, Node
+from repro.sim import Simulator
+
+
+class TestMemory:
+    def test_reserve_and_available(self):
+        mem = Memory(512.0)
+        mem.reserve("app", 128.0)
+        assert mem.reserved() == 128.0
+        assert mem.available() == 384.0
+
+    def test_reserve_replaces_prior_claim(self):
+        mem = Memory(512.0)
+        mem.reserve("app", 128.0)
+        mem.reserve("app", 64.0)
+        assert mem.reserved("app") == 64.0
+
+    def test_overcommit_clamps_available(self):
+        mem = Memory(512.0)
+        mem.reserve("hog", 600.0)
+        assert mem.available() == 0.0
+        assert mem.pressure > 1.0
+
+    def test_available_excluding_self(self):
+        mem = Memory(512.0)
+        mem.reserve("victim", 100.0)
+        mem.reserve("hog", 300.0)
+        assert mem.available(excluding="victim") == pytest.approx(212.0)
+
+    def test_release(self):
+        mem = Memory(512.0)
+        mem.reserve("hog", 300.0)
+        mem.release("hog")
+        assert mem.reserved() == 0.0
+        mem.release("hog")  # idempotent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Memory(0.0)
+        mem = Memory(100.0)
+        with pytest.raises(ValueError):
+            mem.reserve("x", -1.0)
+
+
+class TestNode:
+    def test_compute_takes_work_over_rate(self):
+        sim = Simulator()
+        node = Node(sim, "n0", cpu_rate=10.0)
+        done = node.compute(50.0)
+        stats = sim.run(until=done)
+        assert stats.completed_at == pytest.approx(5.0)
+
+    def test_stopped_reflects_cpu(self):
+        sim = Simulator()
+        node = Node(sim, "n0")
+        assert not node.stopped
+        node.cpu.stop()
+        assert node.stopped
+
+
+class TestCpuHog:
+    def test_hog_halves_cpu(self):
+        sim = Simulator()
+        node = Node(sim, "n0", cpu_rate=10.0)
+        CpuHog(share=0.5, at=0.0).attach(sim, node)
+        done = node.compute(50.0)
+        stats = sim.run(until=done)
+        assert stats.completed_at == pytest.approx(10.0)
+
+    def test_hog_leaves_after_duration(self):
+        sim = Simulator()
+        node = Node(sim, "n0", cpu_rate=10.0)
+        CpuHog(share=0.5, at=0.0, duration=5.0).attach(sim, node)
+        done = node.compute(100.0)
+        stats = sim.run(until=done)
+        # 5 s at rate 5 (25 MB) + 7.5 s at rate 10 (75 MB) = 12.5 s.
+        assert stats.completed_at == pytest.approx(12.5)
+
+
+class TestMemoryHog:
+    def test_hog_reserves_then_releases(self):
+        sim = Simulator()
+        node = Node(sim, "n0", memory_mb=512.0)
+        MemoryHog(resident_mb=400.0, at=1.0, duration=3.0).attach(sim, node)
+        readings = []
+
+        def probe():
+            readings.append((sim.now, node.memory.available()))
+            yield sim.timeout(2.0)
+            readings.append((sim.now, node.memory.available()))
+            yield sim.timeout(3.0)
+            readings.append((sim.now, node.memory.available()))
+
+        sim.process(probe())
+        sim.run()
+        assert readings[0][1] == 512.0
+        assert readings[1][1] == pytest.approx(112.0)
+        assert readings[2][1] == 512.0
+
+    def test_permanent_hog(self):
+        sim = Simulator()
+        node = Node(sim, "n0", memory_mb=512.0)
+        MemoryHog(resident_mb=256.0).attach(sim, node)
+        sim.run()
+        assert node.memory.available() == 256.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryHog(resident_mb=0.0)
+        with pytest.raises(ValueError):
+            MemoryHog(resident_mb=10.0, at=-1.0)
+        with pytest.raises(ValueError):
+            MemoryHog(resident_mb=10.0, duration=0.0)

@@ -1,0 +1,118 @@
+"""Unit tests for the parallel sort (E11 shapes)."""
+
+import pytest
+
+from repro.cluster import CpuHog, SortConfig, make_sort_cluster, run_sort
+from repro.sim import Simulator
+
+CONFIG = SortConfig(total_mb=320.0, chunk_mb=8.0)
+
+
+def run(mode, hog_share=None, n_nodes=8, config=CONFIG, hedge_after=None):
+    sim = Simulator()
+    nodes = make_sort_cluster(sim, n_nodes)
+    if hog_share is not None:
+        CpuHog(share=hog_share).attach(sim, nodes[0])
+    result = sim.run(until=run_sort(sim, nodes, config, mode=mode, hedge_after=hedge_after))
+    return result
+
+
+class TestHealthySort:
+    def test_static_sort_completes_all_chunks(self):
+        result = run("static")
+        assert sum(result.chunks_per_node) == CONFIG.n_chunks
+        assert result.chunks_per_node == [5] * 8
+
+    def test_all_modes_similar_when_healthy(self):
+        throughputs = {mode: run(mode).throughput_mb_s for mode in ("static", "pull", "hedged")}
+        best, worst = max(throughputs.values()), min(throughputs.values())
+        assert best / worst < 1.2
+
+    def test_throughput_scales_with_nodes(self):
+        four = run("static", n_nodes=4)
+        eight = run("static", n_nodes=8)
+        assert eight.throughput_mb_s == pytest.approx(2 * four.throughput_mb_s, rel=0.1)
+
+
+class TestCpuHogShapes:
+    def test_static_sort_slows_toward_2x_with_hog(self):
+        """E11: one loaded node halves global static-partitioned sort."""
+        healthy = run("static")
+        hogged = run("static", hog_share=0.5)
+        ratio = healthy.throughput_mb_s / hogged.throughput_mb_s
+        assert 1.5 < ratio <= 2.1
+
+    def test_pull_recovers_most_throughput(self):
+        healthy = run("static")
+        hogged_static = run("static", hog_share=0.5)
+        pulled = run("pull", hog_share=0.5)
+        # Capacity bound with the hog is 93.75% of healthy; pull should
+        # land near it (chunk-granularity tail costs a few percent) and
+        # far above the static sort's ~2x collapse.
+        assert pulled.throughput_mb_s > 0.78 * healthy.throughput_mb_s
+        assert pulled.throughput_mb_s > 1.4 * hogged_static.throughput_mb_s
+
+    def test_pull_gives_hogged_node_fewer_chunks(self):
+        result = run("pull", hog_share=0.5)
+        counts = result.chunks_per_node
+        assert counts[0] < min(counts[1:])
+
+    def test_proportional_matches_pull_for_static_hog(self):
+        proportional = run("proportional", hog_share=0.5)
+        pulled = run("pull", hog_share=0.5)
+        assert proportional.throughput_mb_s == pytest.approx(
+            pulled.throughput_mb_s, rel=0.15
+        )
+
+    def test_proportional_defeated_by_late_hog(self):
+        """Install-time gauging cannot see a hog that arrives later."""
+        sim = Simulator()
+        nodes = make_sort_cluster(sim, 8)
+        CpuHog(share=0.5, at=1.0).attach(sim, nodes[0])
+        late = sim.run(until=run_sort(sim, nodes, CONFIG, mode="proportional"))
+        healthy = run("proportional")
+        assert late.throughput_mb_s < 0.75 * healthy.throughput_mb_s
+
+    def test_hedged_rescues_stalled_node(self):
+        sim = Simulator()
+        nodes = make_sort_cluster(sim, 4)
+        sim.schedule(1.0, nodes[3].cpu.set_slowdown, "stall", 0.001)
+        config = SortConfig(total_mb=160.0, chunk_mb=8.0)
+        result = sim.run(
+            until=run_sort(sim, nodes, config, mode="hedged", hedge_after=3.0)
+        )
+        assert result.duplicates >= 1
+        healthy = run("static", n_nodes=4, config=config)
+        assert result.throughput_mb_s > 0.5 * healthy.throughput_mb_s
+
+
+class TestValidation:
+    def test_bad_mode_rejected(self):
+        sim = Simulator()
+        nodes = make_sort_cluster(sim, 2)
+        with pytest.raises(ValueError):
+            run_sort(sim, nodes, CONFIG, mode="magic")
+
+    def test_diskless_node_rejected(self):
+        from repro.cluster import Node
+
+        sim = Simulator()
+        nodes = [Node(sim, "n0"), Node(sim, "n1")]
+        with pytest.raises(ValueError):
+            run_sort(sim, nodes, CONFIG)
+
+    def test_empty_nodes_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            run_sort(sim, [], CONFIG)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SortConfig(total_mb=0.0)
+        with pytest.raises(ValueError):
+            SortConfig(total_mb=10.0, chunk_mb=20.0)
+
+    def test_cluster_factory_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            make_sort_cluster(sim, 0)

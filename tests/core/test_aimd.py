@@ -1,0 +1,117 @@
+"""Unit tests for AIMD rate adaptation."""
+
+import pytest
+
+from repro.core import AimdController, AimdSender
+from repro.faults import DegradableServer
+from repro.sim import Simulator
+
+
+class TestAimdController:
+    def test_additive_increase(self):
+        ctl = AimdController(initial_rate=1.0, increase=0.5, decrease=0.5)
+        ctl.on_success()
+        ctl.on_success()
+        assert ctl.rate == pytest.approx(2.0)
+        assert ctl.successes == 2
+
+    def test_multiplicative_decrease(self):
+        ctl = AimdController(initial_rate=8.0, increase=0.5, decrease=0.5)
+        ctl.on_congestion()
+        assert ctl.rate == pytest.approx(4.0)
+        ctl.on_congestion()
+        assert ctl.rate == pytest.approx(2.0)
+        assert ctl.congestions == 2
+
+    def test_rate_clamped_to_bounds(self):
+        ctl = AimdController(initial_rate=1.0, increase=10.0, decrease=0.5, min_rate=0.5, max_rate=5.0)
+        ctl.on_success()
+        assert ctl.rate == 5.0
+        for __ in range(10):
+            ctl.on_congestion()
+        assert ctl.rate == 0.5
+
+    def test_sawtooth_shape(self):
+        """Increase is gradual, decrease is sharp: the AIMD signature."""
+        ctl = AimdController(initial_rate=4.0, increase=0.5, decrease=0.5)
+        before = ctl.rate
+        ctl.on_success()
+        gain = ctl.rate - before
+        before = ctl.rate
+        ctl.on_congestion()
+        loss = before - ctl.rate
+        assert loss > gain
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AimdController(initial_rate=0.0)
+        with pytest.raises(ValueError):
+            AimdController(increase=0.0)
+        with pytest.raises(ValueError):
+            AimdController(decrease=1.0)
+        with pytest.raises(ValueError):
+            AimdController(initial_rate=1.0, min_rate=2.0)
+        with pytest.raises(ValueError):
+            AimdController(initial_rate=2.0, max_rate=1.0)
+
+
+class TestAimdSender:
+    def test_healthy_target_ramps_up(self):
+        sim = Simulator()
+        target = DegradableServer(sim, "t", 10.0)
+        sender = AimdSender(
+            sim,
+            target,
+            AimdController(initial_rate=2.0, increase=0.5, decrease=0.5, max_rate=40.0),
+            chunk_mb=1.0,
+        )
+        result = sim.run(until=sender.send(100.0))
+        assert result.sent_mb == pytest.approx(100.0)
+        final_rate = result.rate_trace[-1][1]
+        assert final_rate > 8.0  # converged near capacity
+        # Throughput cannot exceed the service rate.
+        assert result.throughput_mb_s <= 10.0 + 1e-9
+
+    def test_stutter_causes_backoff(self):
+        sim = Simulator()
+        target = DegradableServer(sim, "t", 10.0)
+        sender = AimdSender(
+            sim,
+            target,
+            AimdController(initial_rate=8.0, increase=0.5, decrease=0.5),
+            chunk_mb=1.0,
+        )
+        # Stall the target for a while mid-stream.
+        sim.schedule(2.0, target.set_slowdown, "stutter", 0.05)
+        sim.schedule(4.0, target.clear_slowdown, "stutter")
+        result = sim.run(until=sender.send(60.0))
+        assert result.congestions > 0
+        rates = [rate for __, rate in result.rate_trace]
+        assert min(rates) < 8.0  # backed off during the stutter
+
+    def test_recovers_after_stutter(self):
+        sim = Simulator()
+        target = DegradableServer(sim, "t", 10.0)
+        sender = AimdSender(
+            sim,
+            target,
+            AimdController(initial_rate=8.0, increase=1.0, decrease=0.5, max_rate=40.0),
+            chunk_mb=1.0,
+        )
+        sim.schedule(1.0, target.set_slowdown, "stutter", 0.05)
+        sim.schedule(2.0, target.clear_slowdown, "stutter")
+        result = sim.run(until=sender.send(120.0))
+        # After recovery the rate climbed back above the backoff floor.
+        final_rate = result.rate_trace[-1][1]
+        assert final_rate > 6.0
+
+    def test_validation(self):
+        sim = Simulator()
+        target = DegradableServer(sim, "t", 10.0)
+        with pytest.raises(ValueError):
+            AimdSender(sim, target, chunk_mb=0.0)
+        sender = AimdSender(sim, target)
+        with pytest.raises(ValueError):
+            sender.send(0.0)
+        with pytest.raises(ValueError):
+            AimdSender(sim, target, rtt_budget=0.0)

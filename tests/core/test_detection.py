@@ -1,0 +1,197 @@
+"""Unit tests for performance-fault detectors and the watchdog."""
+
+import pytest
+
+from repro.core import (
+    CorrectnessWatchdog,
+    EwmaDetector,
+    PeerComparisonDetector,
+    ThresholdDetector,
+)
+from repro.faults import ComponentStopped, DegradableServer, PerformanceSpec
+from repro.sim import Simulator
+
+SPEC = PerformanceSpec(nominal_rate=10.0, tolerance=0.2)
+
+
+class TestThresholdDetector:
+    def test_healthy_component_never_flagged(self):
+        det = ThresholdDetector(SPEC)
+        for __ in range(20):
+            det.observe(10.0, 1.0)  # exactly at spec
+        assert not det.faulty
+
+    def test_persistent_underrun_flagged(self):
+        det = ThresholdDetector(SPEC)
+        for __ in range(10):
+            det.observe(5.0, 1.0)  # 5/s < 8/s threshold
+        assert det.faulty
+
+    def test_cold_start_not_a_fault(self):
+        det = ThresholdDetector(SPEC, min_samples=3)
+        det.observe(1.0, 10.0)  # terrible, but only one sample
+        assert not det.faulty
+        det.observe(1.0, 10.0)
+        assert not det.faulty
+        det.observe(1.0, 10.0)
+        assert det.faulty
+
+    def test_recovery_clears_flag(self):
+        det = ThresholdDetector(SPEC)
+        for __ in range(10):
+            det.observe(5.0, 1.0)
+        assert det.faulty
+        for __ in range(10):
+            det.observe(10.0, 1.0)
+        assert not det.faulty
+
+    def test_within_tolerance_band_ok(self):
+        det = ThresholdDetector(SPEC)
+        for __ in range(10):
+            det.observe(8.5, 1.0)  # 85% of spec, tolerance 20%
+        assert not det.faulty
+
+    def test_estimated_rate_exposed(self):
+        det = ThresholdDetector(SPEC)
+        det.observe(6.0, 1.0)
+        assert det.estimated_rate == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdDetector(SPEC, min_samples=0)
+
+
+class TestEwmaDetector:
+    def test_trips_on_persistent_degradation(self):
+        det = EwmaDetector(SPEC, alpha=0.5)
+        for __ in range(10):
+            det.observe(4.0, 1.0)
+        assert det.faulty
+
+    def test_hysteresis_requires_clear_margin(self):
+        det = EwmaDetector(SPEC, alpha=1.0, trip_fraction=0.8, clear_fraction=0.95)
+        for __ in range(5):
+            det.observe(5.0, 1.0)
+        assert det.faulty
+        det.observe(8.5, 1.0)  # above trip (8.0) but below clear (9.5)
+        assert det.faulty
+        det.observe(9.9, 1.0)  # past the clear fraction
+        assert not det.faulty
+
+    def test_single_transient_does_not_trip_smooth_detector(self):
+        det = EwmaDetector(SPEC, alpha=0.1)
+        for __ in range(20):
+            det.observe(10.0, 1.0)
+        det.observe(1.0, 1.0)  # one bad sample into a long history
+        assert not det.faulty
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaDetector(SPEC, trip_fraction=0.9, clear_fraction=0.5)
+        with pytest.raises(ValueError):
+            EwmaDetector(SPEC, min_samples=0)
+
+
+class TestPeerComparisonDetector:
+    def test_flags_slow_peer(self):
+        det = PeerComparisonDetector(fraction=0.5)
+        det.observe("a", 10.0)
+        det.observe("b", 10.0)
+        det.observe("c", 10.0)
+        det.observe("d", 3.0)
+        assert det.faulty_peers() == ["d"]
+        assert det.is_faulty("d")
+        assert not det.is_faulty("a")
+
+    def test_needs_minimum_peers(self):
+        det = PeerComparisonDetector()
+        det.observe("a", 10.0)
+        det.observe("b", 1.0)
+        assert det.faulty_peers() == []
+
+    def test_misses_correlated_degradation(self):
+        """The documented blind spot: if everyone is slow, nobody is."""
+        det = PeerComparisonDetector(fraction=0.5)
+        for name in "abcd":
+            det.observe(name, 1.0)  # all degraded identically
+        assert det.faulty_peers() == []
+
+    def test_forget_removes_component(self):
+        det = PeerComparisonDetector()
+        for name, rate in [("a", 10.0), ("b", 10.0), ("c", 10.0), ("d", 1.0)]:
+            det.observe(name, rate)
+        det.forget("d")
+        assert det.faulty_peers() == []
+
+    def test_all_zero_rates_no_flags(self):
+        det = PeerComparisonDetector()
+        for name in "abc":
+            det.observe(name, 0.0)
+        assert det.faulty_peers() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeerComparisonDetector(fraction=1.0)
+        with pytest.raises(ValueError):
+            PeerComparisonDetector(min_peers=2)
+        det = PeerComparisonDetector()
+        with pytest.raises(ValueError):
+            det.observe("a", -1.0)
+
+
+class TestCorrectnessWatchdog:
+    def _system(self, timeout=2.0):
+        sim = Simulator()
+        spec = PerformanceSpec(nominal_rate=10.0, correctness_timeout=timeout)
+        server = DegradableServer(sim, "s0", 10.0)
+        return sim, CorrectnessWatchdog(sim, spec), server
+
+    def test_fast_request_passes_through(self):
+        sim, watchdog, server = self._system()
+        guarded = watchdog.guard(server, server.submit(5.0))  # 0.5 s
+        stats = sim.run(until=guarded)
+        assert stats.service_time == pytest.approx(0.5)
+        assert watchdog.promotions == 0
+        assert not server.stopped
+
+    def test_stalled_request_promotes_to_fail_stop(self):
+        sim, watchdog, server = self._system(timeout=2.0)
+        server.set_slowdown("stall", 0.0)
+        guarded = watchdog.guard(server, server.submit(5.0))
+        with pytest.raises((TimeoutError, ComponentStopped)):
+            sim.run(until=guarded)
+        assert sim.now == pytest.approx(2.0)
+        assert watchdog.promotions == 1
+        assert server.stopped
+
+    def test_slow_but_under_t_not_promoted(self):
+        sim, watchdog, server = self._system(timeout=2.0)
+        server.set_slowdown("slow", 0.5)
+        guarded = watchdog.guard(server, server.submit(5.0))  # 1 s at half rate
+        sim.run(until=guarded)
+        assert watchdog.promotions == 0
+
+    def test_custom_promotion_handler(self):
+        sim, watchdog, server = self._system()
+        promoted = []
+        watchdog.on_promote = promoted.append
+        server.set_slowdown("stall", 0.0)
+        guarded = watchdog.guard(server, server.submit(5.0))
+        with pytest.raises(TimeoutError):
+            sim.run(until=guarded)
+        assert promoted == [server]
+        assert not server.stopped  # handler chose not to kill it
+
+    def test_requires_timeout_in_spec(self):
+        sim = Simulator()
+        spec = PerformanceSpec(nominal_rate=10.0)  # no T
+        with pytest.raises(ValueError):
+            CorrectnessWatchdog(sim, spec)
+
+    def test_failed_request_propagates_without_promotion(self):
+        sim, watchdog, server = self._system(timeout=10.0)
+        guarded = watchdog.guard(server, server.submit(5.0))
+        sim.schedule(0.1, server.stop)
+        with pytest.raises(ComponentStopped):
+            sim.run(until=guarded)
+        assert watchdog.promotions == 0

@@ -1,0 +1,194 @@
+"""Unit tests for the performance-state registry."""
+
+import pytest
+
+from repro.core import NotificationPolicy, PerformanceStateRegistry
+from repro.faults import ComponentState
+from repro.sim import Simulator
+
+
+def make(policy=NotificationPolicy.IMMEDIATE, persistence=5.0):
+    sim = Simulator()
+    reg = PerformanceStateRegistry(sim, policy=policy, persistence_time=persistence)
+    return sim, reg
+
+
+class TestReportsAndQueries:
+    def test_get_reflects_latest_report(self):
+        sim, reg = make()
+        reg.report("disk0", ComponentState.DEGRADED, 0.5)
+        report = reg.get("disk0")
+        assert report.state is ComponentState.DEGRADED
+        assert report.factor == 0.5
+        assert "disk0" in reg
+
+    def test_unknown_component_is_none(self):
+        __, reg = make()
+        assert reg.get("nope") is None
+        assert reg.factor_of("nope") == 1.0
+
+    def test_degraded_and_stopped_lists(self):
+        sim, reg = make()
+        reg.report("a", ComponentState.OK)
+        reg.report("b", ComponentState.DEGRADED, 0.4)
+        reg.report("c", ComponentState.STOPPED, 0.0)
+        assert reg.degraded_components() == ["b"]
+        assert reg.stopped_components() == ["c"]
+
+    def test_since_preserved_across_same_state_reports(self):
+        sim, reg = make()
+
+        def proc():
+            reg.report("a", ComponentState.DEGRADED, 0.5)
+            yield sim.timeout(3.0)
+            reg.report("a", ComponentState.DEGRADED, 0.4)  # factor changed
+
+        sim.process(proc())
+        sim.run()
+        assert reg.get("a").since == 0.0
+        assert reg.get("a").factor == 0.4
+
+    def test_duplicate_report_ignored(self):
+        sim, reg = make()
+        seen = []
+        reg.subscribe(seen.append)
+        reg.report("a", ComponentState.DEGRADED, 0.5)
+        reg.report("a", ComponentState.DEGRADED, 0.5)
+        sim.run()
+        assert len(seen) == 1
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PerformanceStateRegistry(sim, persistence_time=-1.0)
+        __, reg = make()
+        with pytest.raises(ValueError):
+            reg.report("a", ComponentState.OK, factor=-0.5)
+
+
+class TestImmediatePolicy:
+    def test_every_change_pushed(self):
+        sim, reg = make(NotificationPolicy.IMMEDIATE)
+        seen = []
+        reg.subscribe(seen.append)
+        reg.report("a", ComponentState.DEGRADED, 0.5)
+        reg.report("a", ComponentState.OK, 1.0)
+        reg.report("a", ComponentState.DEGRADED, 0.3)
+        sim.run()
+        assert [r.state for r in seen] == [
+            ComponentState.DEGRADED,
+            ComponentState.OK,
+            ComponentState.DEGRADED,
+        ]
+        assert reg.notifications_sent == 3
+
+
+class TestNonePolicy:
+    def test_nothing_pushed_but_poll_works(self):
+        sim, reg = make(NotificationPolicy.NONE)
+        seen = []
+        reg.subscribe(seen.append)
+        reg.report("a", ComponentState.DEGRADED, 0.5)
+        sim.run()
+        assert seen == []
+        assert reg.notifications_sent == 0
+        assert reg.degraded_components() == ["a"]
+
+
+class TestPersistentOnlyPolicy:
+    def test_transient_fault_never_pushed(self):
+        """The paper's point: don't broadcast short-lived stutters."""
+        sim, reg = make(NotificationPolicy.PERSISTENT_ONLY, persistence=5.0)
+        seen = []
+        reg.subscribe(seen.append)
+
+        def proc():
+            reg.report("a", ComponentState.DEGRADED, 0.5)
+            yield sim.timeout(2.0)  # recovers before the window closes
+            reg.report("a", ComponentState.OK, 1.0)
+            yield sim.timeout(10.0)
+
+        sim.process(proc())
+        sim.run()
+        degraded_pushes = [r for r in seen if r.state is ComponentState.DEGRADED]
+        assert degraded_pushes == []
+
+    def test_persistent_fault_pushed_after_window(self):
+        sim, reg = make(NotificationPolicy.PERSISTENT_ONLY, persistence=5.0)
+        seen = []
+        reg.subscribe(lambda r: seen.append((sim.now, r)))
+        reg.report("a", ComponentState.DEGRADED, 0.5)
+        sim.run()
+        assert len(seen) == 1
+        when, report = seen[0]
+        assert when == 5.0
+        assert report.state is ComponentState.DEGRADED
+
+    def test_stop_pushed_immediately(self):
+        sim, reg = make(NotificationPolicy.PERSISTENT_ONLY, persistence=5.0)
+        seen = []
+        reg.subscribe(lambda r: seen.append((sim.now, r.state)))
+        reg.report("a", ComponentState.STOPPED, 0.0)
+        sim.run()
+        assert seen == [(0.0, ComponentState.STOPPED)]
+
+    def test_recovery_pushed_immediately(self):
+        sim, reg = make(NotificationPolicy.PERSISTENT_ONLY, persistence=5.0)
+        seen = []
+        reg.subscribe(lambda r: seen.append((sim.now, r.state)))
+
+        def proc():
+            reg.report("a", ComponentState.DEGRADED, 0.5)
+            yield sim.timeout(7.0)  # persists: one push at t=5
+            reg.report("a", ComponentState.OK, 1.0)  # push at t=7
+
+        sim.process(proc())
+        sim.run()
+        assert seen == [(5.0, ComponentState.DEGRADED), (7.0, ComponentState.OK)]
+
+    def test_worsening_fault_restarts_window_only_for_new_report(self):
+        sim, reg = make(NotificationPolicy.PERSISTENT_ONLY, persistence=5.0)
+        seen = []
+        reg.subscribe(lambda r: seen.append((sim.now, r.factor)))
+
+        def proc():
+            reg.report("a", ComponentState.DEGRADED, 0.5)
+            yield sim.timeout(3.0)
+            reg.report("a", ComponentState.DEGRADED, 0.2)  # worsens at t=3
+
+        sim.process(proc())
+        sim.run()
+        # The t=0 report's window was superseded; push fires at t=8 with
+        # the current factor.
+        assert seen == [(8.0, 0.2)]
+
+    def test_no_subscribers_sends_nothing(self):
+        sim, reg = make(NotificationPolicy.PERSISTENT_ONLY)
+        reg.report("a", ComponentState.DEGRADED, 0.5)
+        sim.run()
+        assert reg.notifications_sent == 0
+
+
+class TestOverheadAccounting:
+    def test_immediate_sends_more_than_persistent_under_flapping(self):
+        """A1's core shape: flapping components spam IMMEDIATE."""
+
+        def run(policy):
+            sim, reg = make(policy, persistence=5.0)
+            reg.subscribe(lambda r: None)
+
+            def flapper():
+                for __ in range(10):
+                    reg.report("a", ComponentState.DEGRADED, 0.5)
+                    yield sim.timeout(1.0)
+                    reg.report("a", ComponentState.OK, 1.0)
+                    yield sim.timeout(1.0)
+
+            sim.process(flapper())
+            sim.run()
+            return reg.notifications_sent
+
+        immediate = run(NotificationPolicy.IMMEDIATE)
+        persistent = run(NotificationPolicy.PERSISTENT_ONLY)
+        assert immediate == 20
+        assert persistent == 0  # nothing ever persisted 5 s

@@ -1,0 +1,136 @@
+"""Unit tests for the River-style distributed queue."""
+
+import pytest
+
+from repro.core import DistributedQueue
+from repro.faults import DegradableServer
+from repro.sim import Simulator
+
+
+def make_consumers(sim, n=4, rate=1.0):
+    return [DegradableServer(sim, f"c{i}", rate) for i in range(n)]
+
+
+class TestCreditRouting:
+    def test_equal_consumers_share_equally(self):
+        sim = Simulator()
+        dq = DistributedQueue(sim, make_consumers(sim), policy="credit")
+        result = sim.run(until=dq.drain(list(range(40))))
+        assert result.per_consumer == [10, 10, 10, 10]
+        assert result.duration == pytest.approx(10.0)
+
+    def test_slow_consumer_receives_proportionally_less(self):
+        # A bounded credit window is what makes the DQ adaptive: without
+        # it an eager producer enqueues everything before any completion
+        # and routing degenerates to round-robin.
+        sim = Simulator()
+        consumers = make_consumers(sim)
+        consumers[0].set_slowdown("skew", 0.25)
+        dq = DistributedQueue(sim, consumers, policy="credit", max_backlog=2)
+        result = sim.run(until=dq.drain(list(range(52))))
+        assert result.per_consumer[0] < min(result.per_consumer[1:])
+        # Ideal proportional drain is 16 s (52 records at aggregate rate
+        # 3.25); credit granularity can hand the slow consumer one extra
+        # 4 s record.  Static partitioning would take ~52 s.
+        assert result.duration <= 21.0
+
+    def test_stopped_consumer_skipped(self):
+        sim = Simulator()
+        consumers = make_consumers(sim)
+        consumers[2].stop()
+        dq = DistributedQueue(sim, consumers, policy="credit")
+        result = sim.run(until=dq.drain(list(range(30))))
+        assert result.per_consumer[2] == 0
+        assert sum(result.per_consumer) == 30
+
+    def test_all_stopped_raises(self):
+        sim = Simulator()
+        consumers = make_consumers(sim, 2)
+        consumers[0].stop()
+        consumers[1].stop()
+        dq = DistributedQueue(sim, consumers, policy="credit")
+        with pytest.raises(RuntimeError):
+            dq.put("k")
+
+
+class TestHashRouting:
+    def test_hash_is_deterministic(self):
+        sim = Simulator()
+        dq = DistributedQueue(sim, make_consumers(sim), policy="hash")
+        a = dq._pick("record-7")
+        b = dq._pick("record-7")
+        assert a == b
+
+    def test_hash_ignores_backlog(self):
+        """The strawman: a slow consumer keeps receiving its share."""
+        sim = Simulator()
+        consumers = make_consumers(sim)
+        consumers[0].set_slowdown("stall", 0.01)
+        dq = DistributedQueue(sim, consumers, policy="hash")
+        for i in range(64):
+            dq.put(f"k{i}")
+        assert dq.counts[0] > 5  # still assigned despite the stall
+
+    def test_credit_beats_hash_under_perturbation(self):
+        """The River robustness result."""
+
+        def drain_time(policy):
+            sim = Simulator()
+            consumers = make_consumers(sim)
+            consumers[0].set_slowdown("perturb", 0.1)
+            backlog = 2 if policy == "credit" else None  # hash = static partitioning
+            dq = DistributedQueue(sim, consumers, policy=policy, max_backlog=backlog)
+            result = sim.run(until=dq.drain([f"k{i}" for i in range(80)]))
+            return result.duration
+
+        assert drain_time("hash") > 2.0 * drain_time("credit")
+
+
+class TestFlowControl:
+    def test_backlog_bound_respected(self):
+        sim = Simulator()
+        consumers = make_consumers(sim, 2, rate=1.0)
+        dq = DistributedQueue(sim, consumers, policy="credit", max_backlog=3)
+        proc = dq.drain(list(range(20)))
+
+        max_seen = [0]
+
+        def watcher():
+            while not proc.triggered:
+                backlog = max(dq._backlog(i) for i in range(2))
+                max_seen[0] = max(max_seen[0], backlog)
+                yield sim.timeout(0.1)
+
+        sim.process(watcher())
+        sim.run(until=proc)
+        assert max_seen[0] <= 3
+
+    def test_credit_released_on_completion(self):
+        sim = Simulator()
+        consumers = make_consumers(sim, 1, rate=1.0)
+        dq = DistributedQueue(sim, consumers, policy="credit", max_backlog=1)
+        result = sim.run(until=dq.drain([1, 2, 3]))
+        assert result.records == 3
+        assert result.duration == pytest.approx(3.0)
+
+    def test_wait_for_credit_immediate_when_open(self):
+        sim = Simulator()
+        dq = DistributedQueue(sim, make_consumers(sim), max_backlog=5)
+        assert dq.wait_for_credit().triggered
+
+
+class TestValidation:
+    def test_bad_args_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            DistributedQueue(sim, [])
+        consumers = make_consumers(sim)
+        with pytest.raises(ValueError):
+            DistributedQueue(sim, consumers, record_work=0.0)
+        with pytest.raises(ValueError):
+            DistributedQueue(sim, consumers, policy="magic")
+        with pytest.raises(ValueError):
+            DistributedQueue(sim, consumers, max_backlog=0)
+        dq = DistributedQueue(sim, consumers)
+        with pytest.raises(ValueError):
+            dq.drain([])

@@ -1,0 +1,37 @@
+"""Every experiment must be exactly reproducible run-to-run.
+
+EXPERIMENTS.md is regenerated from these runners; if any runner were
+nondeterministic the document would churn and paper-vs-measured
+comparisons would be meaningless.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+# The slower runners are exercised at reduced size via their kwargs.
+FAST_PARAMS = {
+    "e01": {"n_blocks": 200},
+    "e02": {"n_blocks": 256},
+    "e03": {"nblocks": 2000},
+    "e04": {"days": 10.0},
+    "e06": {"n_runs": 20},
+    "e11": {"total_mb": 160.0},
+    "e12": {"n_ops": 300},
+    "e14": {"n_requests": 200},
+    "e22": {"n_records": 80},
+    "e23": {"n_ops": 300},
+    "e24": {"n_frames": 60},
+    "a2": {"n_requests": 150},
+    "a4": {"block_counts": (100,)},
+    "a6": {"throttles": (0.0, 2.0), "blocks": 330},
+}
+
+
+@pytest.mark.parametrize("key", sorted(ALL_EXPERIMENTS))
+def test_experiment_is_deterministic(key):
+    runner = ALL_EXPERIMENTS[key]
+    params = FAST_PARAMS.get(key, {})
+    first = runner(**params).render()
+    second = runner(**params).render()
+    assert first == second

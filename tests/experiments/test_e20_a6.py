@@ -1,0 +1,50 @@
+"""Integration tests for E20 (TLB divergence) and A6 (rebuild throttle)."""
+
+import pytest
+
+from repro.experiments import a6_rebuild, e20_tlb
+
+
+class TestE20Tlb:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return e20_tlb.run()
+
+    def test_lru_replicas_never_diverge(self, table):
+        lru_rows = [row for row in table.rows if row[1] == "lru"]
+        assert all(row[2] == 0.0 for row in lru_rows)
+
+    def test_random_diverges_under_pressure(self, table):
+        pressured = [
+            row for row in table.rows if row[1] == "random" and row[0] > 64
+        ]
+        assert all(row[2] > 0.1 for row in pressured)
+
+    def test_no_divergence_when_everything_fits(self, table):
+        fitting = [row for row in table.rows if row[0] <= 64]
+        assert all(row[2] == 0.0 for row in fitting)
+
+    def test_divergence_needs_misses_not_policy_alone(self, table):
+        """Same miss rates under both policies: the divergence comes from
+        victim selection, not from different behaviour."""
+        by_ws = {}
+        for ws, policy, __, miss_rate in table.rows:
+            by_ws.setdefault(ws, {})[policy] = miss_rate
+        for rates in by_ws.values():
+            assert rates["lru"] == pytest.approx(rates["random"], abs=0.02)
+
+
+class TestA6Rebuild:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return a6_rebuild.run(throttles=(0.0, 1.0, 4.0), blocks=550)
+
+    def test_throttle_lengthens_exposure(self, table):
+        exposures = table.column("exposure window (s)")
+        assert exposures == sorted(exposures)
+        assert exposures[-1] > 2 * exposures[0]
+
+    def test_throttle_improves_foreground_latency(self, table):
+        latencies = table.column("mean foreground read (s)")
+        assert latencies == sorted(latencies, reverse=True)
+        assert latencies[0] > 1.5 * latencies[-1]

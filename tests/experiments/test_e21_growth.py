@@ -1,0 +1,30 @@
+"""Integration tests for E21: incremental growth / plug-and-play."""
+
+import pytest
+
+from repro.experiments import e21_growth
+
+
+class TestE21Growth:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return e21_growth.run(n_blocks=400)
+
+    def test_identical_when_homogeneous(self, table):
+        base = table.rows[0]
+        assert base[1] == pytest.approx(base[2], rel=0.02)
+
+    def test_uniform_wastes_fast_disks(self, table):
+        """Uniform caps at (n_old + n_new) * old_rate."""
+        four_new = [row for row in table.rows if row[0] == 4][0]
+        assert four_new[1] == pytest.approx(8 * 5.5, rel=0.03)
+        assert four_new[1] < 0.7 * four_new[3]
+
+    def test_adaptive_uses_full_capacity(self, table):
+        for row in table.rows:
+            assert row[4] > 0.95  # adaptive efficiency vs aggregate capacity
+
+    def test_adaptive_gains_grow_with_heterogeneity(self, table):
+        ratios = [row[2] / row[1] for row in table.rows]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 1.4

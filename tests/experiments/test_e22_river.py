@@ -1,0 +1,30 @@
+"""Integration tests for E22: River distributed queue robustness."""
+
+import pytest
+
+from repro.experiments import e22_river
+
+
+class TestE22River:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return e22_river.run()
+
+    def test_equal_when_unperturbed(self, table):
+        # Hash buckets are not exactly even, so allow a little slack.
+        base = table.rows[0]
+        assert base[1] == pytest.approx(base[2], rel=0.1)
+
+    def test_hash_tracks_slow_consumer(self, table):
+        """Static partitioning throughput scales with the slow factor."""
+        by_factor = {row[0]: row[1] for row in table.rows}
+        assert by_factor[0.25] == pytest.approx(by_factor[1.0] * 0.25, rel=0.2)
+
+    def test_dq_degrades_gracefully(self, table):
+        for row in table.rows:
+            assert row[4] > 0.7  # DQ efficiency vs ideal capacity
+
+    def test_dq_beats_hash_under_perturbation(self, table):
+        perturbed = [row for row in table.rows if row[0] < 1.0]
+        for row in perturbed:
+            assert row[2] > 1.5 * row[1]

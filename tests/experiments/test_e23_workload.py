@@ -1,0 +1,34 @@
+"""Integration tests for E23: workload imbalance tolerance."""
+
+import pytest
+
+from repro.experiments import e23_workload
+
+
+class TestE23Workload:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return e23_workload.run(n_ops=400)
+
+    def _cell(self, table, fraction, placement, column):
+        idx = table.columns.index(column)
+        for row in table.rows:
+            if row[0] == fraction and row[1] == placement:
+                return row[idx]
+        raise KeyError((fraction, placement))
+
+    def test_skew_hurts_hashed_placement(self, table):
+        mild = self._cell(table, 0.0, "hash", "p99 (s)")
+        skewed = self._cell(table, 0.8, "hash", "p99 (s)")
+        assert skewed > 1.5 * mild
+
+    def test_adaptive_absorbs_the_imbalance(self, table):
+        for fraction in (0.5, 0.8):
+            hash_p99 = self._cell(table, fraction, "hash", "p99 (s)")
+            adaptive_p99 = self._cell(table, fraction, "adaptive", "p99 (s)")
+            assert adaptive_p99 < 0.8 * hash_p99
+
+    def test_median_latency_ordering(self, table):
+        hash_p50 = self._cell(table, 0.8, "hash", "p50 (s)")
+        adaptive_p50 = self._cell(table, 0.8, "adaptive", "p50 (s)")
+        assert adaptive_p50 <= hash_p50

@@ -1,0 +1,50 @@
+"""Integration tests for E24 (video glitches) and A7 (hedging sweep)."""
+
+import pytest
+
+from repro.experiments import a7_hedging, e24_video
+
+
+class TestE24Video:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return e24_video.run(n_frames=80)
+
+    def test_no_faults_no_glitches(self, table):
+        baseline = table.rows[0]
+        assert baseline[1] == 0.0
+        assert baseline[2] == 0.0
+        assert baseline[3] == 0.0
+
+    def test_glitches_grow_with_offline_rate(self, table):
+        primary = table.column("primary-only glitches")
+        assert primary == sorted(primary)
+        assert primary[-1] > 0.05
+
+    def test_mirror_failover_beats_primary_only(self, table):
+        worst = table.rows[-1]
+        assert worst[2] < 0.8 * worst[1]
+
+    def test_hedged_reads_eliminate_glitches(self, table):
+        hedged = table.column("hedged-read glitches")
+        assert all(value < 0.01 for value in hedged)
+
+
+class TestA7Hedging:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return a7_hedging.run()
+
+    def test_makespan_monotone_in_threshold(self, table):
+        makespans = table.column("makespan (s)")
+        assert all(b >= a - 1e-9 for a, b in zip(makespans, makespans[1:]))
+
+    def test_disabled_hedging_pays_the_straggler(self, table):
+        makespans = table.column("makespan (s)")
+        assert makespans[-1] > 1.15 * makespans[0]
+
+    def test_duplicates_decrease_with_threshold(self, table):
+        duplicates = table.column("duplicates")
+        assert duplicates == sorted(duplicates, reverse=True)
+        assert duplicates[-1] == 0  # disabled launches none
+        assert duplicates[0] >= 1

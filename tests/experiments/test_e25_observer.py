@@ -1,0 +1,38 @@
+"""Integration tests for E25: observer-dependent performance faults."""
+
+import pytest
+
+from repro.experiments import e25_observer
+
+
+class TestE25Observer:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return e25_observer.run()
+
+    def _verdict(self, table, scenario, observer):
+        for row in table.rows:
+            if row[0] == scenario and row[1] == observer:
+                return row[3]
+        raise KeyError((scenario, observer))
+
+    def test_healthy_fabric_all_healthy(self, table):
+        assert self._verdict(table, "none", "clientA") == "healthy"
+        assert self._verdict(table, "none", "clientC") == "healthy"
+
+    def test_access_link_fault_splits_the_observers(self, table):
+        """The paper's exact point: A's 'fault' is invisible to C."""
+        assert self._verdict(table, "clientA's access link", "clientA") == "faulty"
+        assert self._verdict(table, "clientA's access link", "clientC") == "healthy"
+
+    def test_shared_link_fault_is_global_truth(self, table):
+        assert self._verdict(table, "server's shared uplink", "clientA") == "faulty"
+        assert self._verdict(table, "server's shared uplink", "clientC") == "faulty"
+
+    def test_estimated_rates_track_the_bottleneck(self, table):
+        rates = {
+            (row[0], row[1]): row[2] for row in table.rows
+        }
+        healthy = rates[("none", "clientA")]
+        degraded = rates[("clientA's access link", "clientA")]
+        assert degraded < 0.35 * healthy

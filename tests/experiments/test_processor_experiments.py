@@ -1,0 +1,76 @@
+"""Integration tests for the processor-evidence experiments E15-E19."""
+
+import pytest
+
+from repro.experiments import (
+    e15_cachemask,
+    e16_nondeterminism,
+    e17_pagecolor,
+    e18_membank,
+    e19_prediction,
+)
+
+
+class TestE15CacheMask:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return e15_cachemask.run()
+
+    def test_healthy_part_is_baseline(self, table):
+        assert table.rows[0][3] == pytest.approx(1.0)
+
+    def test_fully_masked_part_costs_around_40_percent(self, table):
+        worst = table.rows[-1]
+        assert worst[1] == "4KB/1-way"  # the Viking measurement
+        assert 1.25 < worst[3] < 1.6  # paper: up to 40%
+
+    def test_runtime_monotone_in_masking(self, table):
+        runtimes = table.column("relative runtime")
+        assert all(b >= a - 1e-9 for a, b in zip(runtimes, runtimes[1:]))
+
+
+class TestE16Nondeterminism:
+    def test_factor_of_three_between_identical_runs(self):
+        table = e16_nondeterminism.run()
+        stats = dict(zip(table.column("statistic"), table.column("value")))
+        assert stats["slow/fast ratio"] == pytest.approx(3.0, rel=0.05)
+        assert stats["distinct runtimes"] == 2.0  # bimodal, not noisy
+
+
+class TestE17PageColor:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return e17_pagecolor.run()
+
+    def test_colored_is_baseline(self, table):
+        assert table.rows[0][1] == pytest.approx(1.0)
+        assert table.rows[0][2] == 0
+
+    def test_unluckiest_random_costs_around_50_percent(self, table):
+        worst = table.column("relative runtime")[-1]
+        assert 1.3 < worst < 1.7  # paper: up to 50%
+
+    def test_more_conflicts_more_runtime(self, table):
+        random_rows = table.rows[1:]
+        runtimes = [row[1] for row in random_rows]
+        conflicts = [row[2] for row in random_rows]
+        assert runtimes == sorted(runtimes)
+        assert conflicts == sorted(conflicts)
+
+
+class TestE18MemBank:
+    def test_efficiency_halves_under_perturbation(self):
+        table = e18_membank.run()
+        losses = dict(zip(table.column("scalar probability"), table.column("loss vs clean")))
+        assert losses[0.0] == pytest.approx(1.0)
+        assert any(1.8 < loss < 2.6 for loss in losses.values())  # ~2x occurs
+        assert losses[0.5] > losses[0.1]
+
+
+class TestE19Prediction:
+    def test_wearout_flagged_with_lead_time(self):
+        table = e19_prediction.run()
+        stats = dict(zip(table.column("metric"), table.column("value")))
+        assert stats["recall"] >= 0.75  # most dying disks caught
+        assert stats["mean warning lead time (s)"] > 100.0
+        assert stats["false positives (healthy flagged)"] <= 3.0

@@ -1,0 +1,33 @@
+"""Seed robustness: headline shapes must not depend on one lucky seed."""
+
+import pytest
+
+from repro.experiments import e01_raid10, e11_cpuhog, e12_dht, e22_river
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("n_blocks", [240, 400, 640])
+    def test_e01_shape_across_sizes(self, n_blocks):
+        table = e01_raid10.run(n_blocks=n_blocks)
+        dynamic = {row[1]: row[2] for row in table.rows if row[0] == "dynamic-fault"}
+        assert dynamic["adaptive"] > 1.4 * dynamic["uniform"]
+
+    @pytest.mark.parametrize("hog_share", [0.4, 0.5, 0.6])
+    def test_e11_shape_across_hog_intensities(self, hog_share):
+        table = e11_cpuhog.run(total_mb=160.0, hog_share=hog_share)
+        by_key = {(row[0], row[1]): row[3] for row in table.rows}
+        assert by_key[("static", True)] > by_key[("pull", True)]
+
+    @pytest.mark.parametrize("seed", [3, 17, 99])
+    def test_e12_shape_across_seeds(self, seed):
+        table = e12_dht.run(n_ops=400, seed=seed)
+        p99 = dict(zip(table.column("configuration"), table.column("p99 (s)")))
+        assert p99["GC, hashed"] > 5 * p99["no GC, hashed"]
+        assert p99["GC, adaptive placement"] < 0.5 * p99["GC, hashed"]
+
+    @pytest.mark.parametrize("n_records", [80, 120, 200])
+    def test_e22_shape_across_sizes(self, n_records):
+        table = e22_river.run(n_records=n_records)
+        perturbed = [row for row in table.rows if row[0] <= 0.25]
+        for row in perturbed:
+            assert row[2] > 1.5 * row[1]

@@ -1,0 +1,146 @@
+"""Unit and property tests for fault-schedule distributions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    Bernoulli,
+    Empirical,
+    Exponential,
+    Fixed,
+    LogNormal,
+    Pareto,
+    Uniform,
+    Weibull,
+)
+
+ALL_DISTRIBUTIONS = [
+    Fixed(2.0),
+    Uniform(1.0, 3.0),
+    Exponential(2.0),
+    Pareto(alpha=3.0, xmin=1.0),
+    Weibull(lam=2.0, k=1.5),
+    LogNormal(mu=0.0, sigma=0.5),
+    Empirical([1.0, 2.0, 3.0]),
+    Bernoulli(p=0.5, value=4.0),
+]
+
+
+class TestSamplingBasics:
+    @pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+    def test_samples_nonnegative(self, dist):
+        rng = random.Random(1)
+        assert all(dist.sample(rng) >= 0 for __ in range(200))
+
+    @pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+    def test_deterministic_given_seed(self, dist):
+        a = [dist.sample(random.Random(7)) for __ in range(5)]
+        b = [dist.sample(random.Random(7)) for __ in range(5)]
+        assert a == b
+
+    def test_fixed_always_equal(self):
+        rng = random.Random(0)
+        assert {Fixed(3.5).sample(rng) for __ in range(10)} == {3.5}
+
+    def test_uniform_within_bounds(self):
+        rng = random.Random(0)
+        for __ in range(100):
+            v = Uniform(2.0, 5.0).sample(rng)
+            assert 2.0 <= v <= 5.0
+
+    def test_empirical_only_returns_members(self):
+        rng = random.Random(0)
+        values = {1.0, 5.0, 9.0}
+        assert all(Empirical(sorted(values)).sample(rng) in values for __ in range(50))
+
+    def test_bernoulli_zero_or_value(self):
+        rng = random.Random(0)
+        assert {Bernoulli(0.5, 4.0).sample(rng) for __ in range(100)} <= {0.0, 4.0}
+
+    def test_pareto_at_least_xmin(self):
+        rng = random.Random(0)
+        assert all(Pareto(2.0, xmin=3.0).sample(rng) >= 3.0 for __ in range(100))
+
+
+class TestMeans:
+    def test_analytic_means(self):
+        assert Fixed(2.0).mean() == 2.0
+        assert Uniform(1.0, 3.0).mean() == 2.0
+        assert Exponential(2.0).mean() == 2.0
+        assert Pareto(alpha=2.0, xmin=1.0).mean() == 2.0
+        assert Pareto(alpha=0.9).mean() == float("inf")
+        assert Empirical([1.0, 3.0]).mean() == 2.0
+        assert Bernoulli(0.25, 8.0).mean() == 2.0
+
+    @pytest.mark.parametrize(
+        "dist",
+        [Uniform(1.0, 3.0), Exponential(2.0), Weibull(2.0, 1.5), LogNormal(0.0, 0.5)],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_sample_mean_approaches_analytic(self, dist):
+        rng = random.Random(42)
+        n = 20000
+        sample_mean = sum(dist.sample(rng) for __ in range(n)) / n
+        assert sample_mean == pytest.approx(dist.mean(), rel=0.05)
+
+
+class TestValidation:
+    def test_fixed_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Fixed(-1.0)
+
+    def test_uniform_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform(3.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform(-1.0, 1.0)
+
+    def test_exponential_mean_rejected(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_pareto_params_rejected(self):
+        with pytest.raises(ValueError):
+            Pareto(alpha=0.0)
+        with pytest.raises(ValueError):
+            Pareto(alpha=1.0, xmin=0.0)
+
+    def test_weibull_params_rejected(self):
+        with pytest.raises(ValueError):
+            Weibull(lam=0.0, k=1.0)
+
+    def test_lognormal_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0, -0.1)
+
+    def test_empirical_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+        with pytest.raises(ValueError):
+            Empirical([1.0, -1.0])
+
+    def test_bernoulli_p_rejected(self):
+        with pytest.raises(ValueError):
+            Bernoulli(1.5)
+        with pytest.raises(ValueError):
+            Bernoulli(0.5, value=-1.0)
+
+
+class TestProperties:
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_fixed_roundtrip(self, value):
+        assert Fixed(value).sample(random.Random(0)) == value
+
+    @given(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50)
+    def test_uniform_always_in_bounds(self, a, width, seed):
+        dist = Uniform(a, a + width)
+        v = dist.sample(random.Random(seed))
+        assert a <= v <= a + width

@@ -1,0 +1,234 @@
+"""Unit tests for the fault model and degradable components."""
+
+import pytest
+
+from repro.faults import (
+    ComponentState,
+    ComponentStopped,
+    CorrectnessFault,
+    DegradableServer,
+    FaultModel,
+    PerformanceFault,
+)
+from repro.sim import Simulator
+
+
+class TestFaultModel:
+    def test_fail_stutter_handles_both_classes(self):
+        assert FaultModel.FAIL_STUTTER.handles_performance_faults
+        assert FaultModel.FAIL_STUTTER.handles_correctness_faults
+
+    def test_fail_stop_handles_only_correctness(self):
+        assert not FaultModel.FAIL_STOP.handles_performance_faults
+        assert FaultModel.FAIL_STOP.handles_correctness_faults
+
+    def test_none_handles_nothing(self):
+        assert not FaultModel.NONE.handles_performance_faults
+        assert not FaultModel.NONE.handles_correctness_faults
+
+
+class TestDegradableRates:
+    def _server(self, rate=10.0):
+        sim = Simulator()
+        return sim, DegradableServer(sim, "disk0", rate)
+
+    def test_starts_at_nominal(self):
+        __, server = self._server()
+        assert server.effective_rate == 10.0
+        assert server.state is ComponentState.OK
+
+    def test_single_slowdown(self):
+        __, server = self._server()
+        server.set_slowdown("skew", 0.5)
+        assert server.effective_rate == 5.0
+        assert server.state is ComponentState.DEGRADED
+
+    def test_slowdowns_compose_multiplicatively(self):
+        __, server = self._server()
+        server.set_slowdown("skew", 0.5)
+        server.set_slowdown("gc", 0.5)
+        assert server.effective_rate == pytest.approx(2.5)
+
+    def test_clear_restores_other_channels(self):
+        __, server = self._server()
+        server.set_slowdown("skew", 0.5)
+        server.set_slowdown("gc", 0.0)
+        server.clear_slowdown("gc")
+        assert server.effective_rate == 5.0
+        assert server.state is ComponentState.DEGRADED
+
+    def test_clear_unknown_channel_is_noop(self):
+        __, server = self._server()
+        server.clear_slowdown("nothing")
+        assert server.effective_rate == 10.0
+
+    def test_zero_factor_stalls(self):
+        __, server = self._server()
+        server.set_slowdown("reset", 0.0)
+        assert server.effective_rate == 0.0
+        assert server.state is ComponentState.DEGRADED  # stalled, not stopped
+
+    def test_speedup_factor_allowed(self):
+        __, server = self._server()
+        server.set_slowdown("upgrade", 2.0)
+        assert server.effective_rate == 20.0
+        assert server.state is ComponentState.OK  # faster than spec is not a fault
+
+    def test_bad_factor_rejected(self):
+        __, server = self._server()
+        with pytest.raises(ValueError):
+            server.set_slowdown("x", -0.1)
+        with pytest.raises(ValueError):
+            server.set_slowdown("x", float("nan"))
+        with pytest.raises(ValueError):
+            server.set_slowdown("x", float("inf"))
+
+    def test_bad_nominal_rate_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            DegradableServer(sim, "bad", 0.0)
+
+
+class TestFailStop:
+    def test_stop_is_permanent_and_detectable(self):
+        sim = Simulator()
+        server = DegradableServer(sim, "disk0", 10.0)
+        server.stop()
+        assert server.state is ComponentState.STOPPED
+        assert server.effective_rate == 0.0
+        with pytest.raises(ComponentStopped):
+            server.submit(1.0)
+
+    def test_slowdowns_ignored_after_stop(self):
+        sim = Simulator()
+        server = DegradableServer(sim, "disk0", 10.0)
+        server.stop()
+        server.set_slowdown("x", 1.0)
+        assert server.effective_rate == 0.0
+
+    def test_stop_records_correctness_fault(self):
+        sim = Simulator()
+        server = DegradableServer(sim, "disk0", 10.0)
+
+        def proc():
+            yield sim.timeout(7.0)
+            server.stop(cause="media")
+
+        sim.process(proc())
+        sim.run()
+        faults = [f for f in server.fault_log if isinstance(f, CorrectnessFault)]
+        assert len(faults) == 1
+        assert faults[0].time == 7.0
+        assert faults[0].cause == "media"
+
+    def test_stop_fails_inflight_work(self):
+        sim = Simulator()
+        server = DegradableServer(sim, "disk0", 1.0)
+        done = server.submit(100.0)
+        caught = []
+
+        def waiter():
+            try:
+                yield done
+            except ComponentStopped as exc:
+                caught.append(exc.component)
+
+        sim.process(waiter())
+        sim.schedule(5.0, server.stop)
+        sim.run()
+        assert caught == ["disk0"]
+
+    def test_double_stop_is_idempotent(self):
+        sim = Simulator()
+        server = DegradableServer(sim, "disk0", 10.0)
+        server.stop()
+        server.stop()
+        faults = [f for f in server.fault_log if isinstance(f, CorrectnessFault)]
+        assert len(faults) == 1
+
+
+class TestFaultLog:
+    def test_episode_recorded_with_bounds(self):
+        sim = Simulator()
+        server = DegradableServer(sim, "disk0", 10.0)
+
+        def proc():
+            yield sim.timeout(2.0)
+            server.set_slowdown("gc", 0.3)
+            yield sim.timeout(3.0)
+            server.clear_slowdown("gc")
+
+        sim.process(proc())
+        sim.run()
+        perf = [f for f in server.fault_log if isinstance(f, PerformanceFault)]
+        assert len(perf) == 1
+        assert perf[0].start == 2.0
+        assert perf[0].end == 5.0
+        assert perf[0].duration == pytest.approx(3.0)
+        assert perf[0].factor == 0.3
+        assert perf[0].source == "gc"
+
+    def test_stop_closes_open_episodes(self):
+        sim = Simulator()
+        server = DegradableServer(sim, "disk0", 10.0)
+
+        def proc():
+            server.set_slowdown("gc", 0.3)
+            yield sim.timeout(4.0)
+            server.stop()
+
+        sim.process(proc())
+        sim.run()
+        perf = [f for f in server.fault_log if isinstance(f, PerformanceFault)]
+        assert len(perf) == 1 and perf[0].end == 4.0
+
+    def test_severity_change_splits_episode(self):
+        sim = Simulator()
+        server = DegradableServer(sim, "disk0", 10.0)
+
+        def proc():
+            server.set_slowdown("gc", 0.5)
+            yield sim.timeout(1.0)
+            server.set_slowdown("gc", 0.2)
+            yield sim.timeout(1.0)
+            server.clear_slowdown("gc")
+
+        sim.process(proc())
+        sim.run()
+        perf = [f for f in server.fault_log if isinstance(f, PerformanceFault)]
+        assert [p.factor for p in perf] == [0.5, 0.2]
+
+    def test_factor_at_or_above_one_is_not_an_episode(self):
+        sim = Simulator()
+        server = DegradableServer(sim, "disk0", 10.0)
+        server.set_slowdown("upgrade", 1.5)
+        server.clear_slowdown("upgrade")
+        assert server.fault_log == []
+
+
+class TestDegradableServerService:
+    def test_slowdown_lengthens_service(self):
+        sim = Simulator()
+        server = DegradableServer(sim, "disk0", 10.0)
+        done = server.submit(100.0)
+        sim.schedule(5.0, server.set_slowdown, "fault", 0.5)
+        stats = sim.run(until=done)
+        # 50 units at 10/s then 50 units at 5/s => 5 + 10 = 15s.
+        assert stats.completed_at == pytest.approx(15.0)
+
+    def test_metrics_passthrough(self):
+        sim = Simulator()
+        server = DegradableServer(sim, "disk0", 2.0)
+        server.submit(4.0)
+        server.submit(4.0)
+        assert server.busy and server.queue_length == 1
+        sim.run()
+        assert server.jobs_completed == 2
+        assert server.work_completed == pytest.approx(8.0)
+        assert server.utilization() == pytest.approx(1.0)
+
+    def test_repr_mentions_state(self):
+        sim = Simulator()
+        server = DegradableServer(sim, "disk0", 2.0)
+        assert "disk0" in repr(server)
+        assert "ok" in repr(server)

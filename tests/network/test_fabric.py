@@ -1,0 +1,125 @@
+"""Unit tests for the multi-hop fabric."""
+
+import pytest
+
+from repro.network import Fabric
+from repro.sim import Simulator
+
+
+def line_fabric(sim, names="ABCD", bandwidth=10.0):
+    fabric = Fabric(sim)
+    for a, b in zip(names, names[1:]):
+        fabric.add_link(a, b, bandwidth)
+    return fabric
+
+
+class TestConstruction:
+    def test_links_are_directional_pairs(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        fwd, bwd = fabric.add_link("A", "B", 10.0)
+        assert fabric.link("A", "B") is fwd
+        assert fabric.link("B", "A") is bwd
+        assert fwd is not bwd
+
+    def test_self_link_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Fabric(sim).add_link("A", "A", 10.0)
+
+    def test_unknown_link_rejected(self):
+        sim = Simulator()
+        fabric = line_fabric(sim)
+        with pytest.raises(KeyError):
+            fabric.link("A", "D")
+
+    def test_nodes_sorted(self):
+        sim = Simulator()
+        fabric = line_fabric(sim)
+        assert fabric.nodes == ["A", "B", "C", "D"]
+
+
+class TestRouting:
+    def test_shortest_path_line(self):
+        sim = Simulator()
+        fabric = line_fabric(sim)
+        hops = fabric.route("A", "D")
+        assert [h.name for h in hops] == ["A->B", "B->C", "C->D"]
+
+    def test_route_prefers_fewer_hops(self):
+        sim = Simulator()
+        fabric = line_fabric(sim)
+        fabric.add_link("A", "D", 1.0)  # direct but slow
+        hops = fabric.route("A", "D")
+        assert [h.name for h in hops] == ["A->D"]
+
+    def test_route_to_self_empty(self):
+        sim = Simulator()
+        fabric = line_fabric(sim)
+        assert fabric.route("B", "B") == []
+
+    def test_unreachable_raises(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        fabric.add_link("A", "B", 10.0)
+        fabric.add_node("Z")
+        with pytest.raises(ValueError):
+            fabric.route("A", "Z")
+
+    def test_unknown_node_raises(self):
+        sim = Simulator()
+        fabric = line_fabric(sim)
+        with pytest.raises(KeyError):
+            fabric.route("A", "Q")
+
+
+class TestTransfer:
+    def test_single_hop_at_link_rate(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        fabric.add_link("A", "B", 10.0)
+        rate = sim.run(until=fabric.measure_bandwidth("A", "B", 20.0))
+        assert rate == pytest.approx(10.0, rel=0.01)
+
+    def test_multi_hop_pipelines_near_bottleneck(self):
+        sim = Simulator()
+        fabric = line_fabric(sim, bandwidth=10.0)
+        rate = sim.run(until=fabric.measure_bandwidth("A", "D", 30.0))
+        # Store-and-forward chunks pipeline: near 10 MB/s, not 10/3.
+        assert rate > 8.0
+
+    def test_degraded_hop_bounds_the_path(self):
+        sim = Simulator()
+        fabric = line_fabric(sim, bandwidth=10.0)
+        fabric.link("B", "C").set_slowdown("bad-cable", 0.2)
+        rate = sim.run(until=fabric.measure_bandwidth("A", "D", 20.0))
+        assert rate == pytest.approx(2.0, rel=0.15)
+
+    def test_fault_is_directional(self):
+        sim = Simulator()
+        fabric = line_fabric(sim, bandwidth=10.0)
+        fabric.link("B", "C").set_slowdown("bad-cable", 0.2)
+        forward = sim.run(until=fabric.measure_bandwidth("A", "D", 20.0))
+        backward = sim.run(until=fabric.measure_bandwidth("D", "A", 20.0))
+        assert backward > 4 * forward
+
+    def test_observer_dependence(self):
+        """The Section 3.1 point: the same server looks slow from one
+        client and healthy from another when a *link* is at fault."""
+        sim = Simulator()
+        fabric = Fabric(sim)
+        fabric.add_link("clientA", "mid", 10.0)
+        fabric.add_link("clientC", "mid", 10.0)
+        fabric.add_link("mid", "server", 10.0)
+        fabric.link("clientA", "mid").set_slowdown("bad-cable", 0.2)
+        seen_by_a = sim.run(until=fabric.measure_bandwidth("clientA", "server", 20.0))
+        seen_by_c = sim.run(until=fabric.measure_bandwidth("clientC", "server", 20.0))
+        assert seen_by_c > 4 * seen_by_a
+
+    def test_validation(self):
+        sim = Simulator()
+        fabric = line_fabric(sim)
+        with pytest.raises(ValueError):
+            fabric.transfer("A", "B", 0.0)
+        with pytest.raises(ValueError):
+            fabric.transfer("A", "A", 5.0)

@@ -1,0 +1,70 @@
+"""Unit tests for links."""
+
+import pytest
+
+from repro.faults import ComponentStopped
+from repro.network import Link
+from repro.sim import Simulator
+
+
+class TestLink:
+    def test_serialisation_time(self):
+        sim = Simulator()
+        link = Link(sim, "l0", bandwidth=10.0)
+        done = link.transmit(50.0)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(5.0)
+
+    def test_latency_added_after_serialisation(self):
+        sim = Simulator()
+        link = Link(sim, "l0", bandwidth=10.0, latency=0.5)
+        done = link.transmit(50.0)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(5.5)
+
+    def test_fifo_sharing(self):
+        sim = Simulator()
+        link = Link(sim, "l0", bandwidth=10.0)
+        link.transmit(10.0)
+        done = link.transmit(10.0)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_latency_overlaps_next_serialisation(self):
+        """Propagation is pipelined: it does not occupy the transmitter."""
+        sim = Simulator()
+        link = Link(sim, "l0", bandwidth=10.0, latency=1.0)
+        first = link.transmit(10.0)
+        second = link.transmit(10.0)
+        sim.run(until=second)
+        assert sim.now == pytest.approx(3.0)  # 2s serialise + 1s latency
+
+    def test_degraded_link_slows(self):
+        sim = Simulator()
+        link = Link(sim, "l0", bandwidth=10.0)
+        link.set_slowdown("congestion", 0.5)
+        done = link.transmit(10.0)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_failed_link_propagates_error(self):
+        sim = Simulator()
+        link = Link(sim, "l0", bandwidth=10.0)
+        done = link.transmit(100.0)
+        caught = []
+
+        def waiter():
+            try:
+                yield done
+            except ComponentStopped:
+                caught.append(True)
+
+        sim.process(waiter())
+        sim.schedule(1.0, link.stop)
+        sim.run()
+        assert caught == [True]
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, "l0", bandwidth=10.0, latency=-1.0)

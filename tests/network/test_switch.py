@@ -1,0 +1,250 @@
+"""Unit tests for the switch model and its fault modes."""
+
+import pytest
+
+from repro.network import Switch, SwitchConfig
+from repro.sim import Simulator
+
+
+def make_switch(sim, **overrides):
+    defaults = dict(
+        n_ports=4,
+        port_rate=10.0,
+        core_rate=40.0,
+        receiver_rate=10.0,
+        buffer_packets=16,
+        unfair_threshold=4,
+    )
+    defaults.update(overrides)
+    return Switch(sim, SwitchConfig(**defaults))
+
+
+class TestBasicSwitching:
+    def test_single_packet_end_to_end(self):
+        sim = Simulator()
+        switch = make_switch(sim)
+        done = switch.send(0, 1, 10.0)
+        sim.run(until=done)
+        # core 10/40 + port 10/10 + receiver 10/10 = 0.25 + 1 + 1
+        assert sim.now == pytest.approx(2.25)
+        assert switch.packets_switched == 1
+
+    def test_distinct_ports_move_in_parallel(self):
+        sim = Simulator()
+        switch = make_switch(sim)
+        sends = [switch.send(i, (i + 1) % 4, 10.0) for i in range(4)]
+        sim.run(until=sim.all_of(sends))
+        # Four packets through a 40 MB/s core: core is not the bottleneck;
+        # ports run in parallel => close to the single-packet time.
+        assert sim.now < 3.5
+
+    def test_same_port_serialises(self):
+        sim = Simulator()
+        switch = make_switch(sim)
+        first = switch.send(0, 1, 10.0)
+        second = switch.send(2, 1, 10.0)
+        sim.run(until=sim.all_of([first, second]))
+        assert sim.now > 3.0  # port 1 serves 20 MB at 10 MB/s
+
+    def test_validation(self):
+        sim = Simulator()
+        switch = make_switch(sim)
+        with pytest.raises(ValueError):
+            switch.send(-1, 1, 1.0)
+        with pytest.raises(ValueError):
+            switch.send(0, 9, 1.0)
+        with pytest.raises(ValueError):
+            switch.send(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            SwitchConfig(n_ports=1)
+        with pytest.raises(ValueError):
+            SwitchConfig(buffer_packets=0)
+        with pytest.raises(ValueError):
+            Switch(sim, SwitchConfig(n_ports=4), favored_ports={9})
+
+
+class TestFlowControlBackpressure:
+    def test_slow_receiver_fills_buffer(self):
+        sim = Simulator()
+        switch = make_switch(sim, buffer_packets=4)
+        switch.receivers[1].set_slowdown("slow", 0.01)
+        for __ in range(8):
+            switch.send(0, 1, 1.0)
+        sim.run(until=5.0)
+        assert switch.buffered_packets == 4
+        assert switch.senders_blocked == 4
+
+    def test_backpressure_blocks_unrelated_traffic(self):
+        """The CM-5 shape: packets to a slow receiver occupy the shared
+        pool and delay traffic between completely healthy ports."""
+        sim = Simulator()
+        switch = make_switch(sim, buffer_packets=4)
+        switch.receivers[1].set_slowdown("slow", 0.0)
+        for __ in range(8):
+            switch.send(0, 1, 1.0)
+        victim = switch.send(2, 3, 1.0)
+
+        sim.run(until=10.0)
+        assert not victim.triggered  # stuck behind the full pool
+
+    def test_healthy_switch_no_backpressure(self):
+        sim = Simulator()
+        switch = make_switch(sim, buffer_packets=4)
+        for __ in range(3):
+            switch.send(0, 1, 1.0)
+        victim = switch.send(2, 3, 1.0)
+        sim.run(until=victim)
+        assert sim.now < 1.0
+
+    def test_slots_released_after_receive(self):
+        sim = Simulator()
+        switch = make_switch(sim, buffer_packets=4)
+        done = switch.send(0, 1, 1.0)
+        sim.run(until=done)
+        assert switch.buffered_packets == 0
+
+
+class TestUnfairArbitration:
+    def _loaded_run(self, favored, penalty=0.2):
+        """Saturate the core; return per-source completion times."""
+        sim = Simulator()
+        switch = Switch(
+            sim,
+            SwitchConfig(
+                n_ports=4,
+                port_rate=100.0,
+                core_rate=10.0,  # core is the bottleneck
+                receiver_rate=100.0,
+                buffer_packets=64,
+                unfair_threshold=4,
+                unfair_penalty=penalty,
+            ),
+            favored_ports=favored,
+        )
+        finish = {}
+
+        def load(src):
+            sends = [switch.send(src, (src + 1) % 4, 5.0) for __ in range(4)]
+            yield sim.all_of(sends)
+            finish[src] = sim.now
+
+        procs = [sim.process(load(src)) for src in range(4)]
+        sim.run(until=sim.all_of(procs))
+        return finish
+
+    def test_fair_switch_serves_fifo(self):
+        """Without favored ports, sources drain in submission order."""
+        finish = self._loaded_run(favored=None)
+        assert finish[0] < finish[1] < finish[2] < finish[3]
+        # Work-conserving: 80 MB through a 10 MB/s core ~= 8 s.
+        assert max(finish.values()) == pytest.approx(8.0, rel=0.05)
+
+    def test_favored_sources_jump_the_queue_under_load(self):
+        """Sources 2 and 3 submitted last but finish first when favored."""
+        finish = self._loaded_run(favored={2, 3})
+        assert max(finish[2], finish[3]) < min(finish[0], finish[1])
+
+    def test_arbitration_penalty_wastes_capacity(self):
+        """Disfavored packets burn core time: the whole run gets slower."""
+        fair = max(self._loaded_run(favored=None).values())
+        unfair = max(self._loaded_run(favored={2, 3}, penalty=0.2).values())
+        # 8 disfavored packets x 0.2 s of wasted arbitration.
+        assert unfair == pytest.approx(fair + 8 * 0.2, rel=0.05)
+
+    def test_unfairness_inactive_at_low_load(self):
+        sim = Simulator()
+        switch = Switch(
+            sim,
+            SwitchConfig(n_ports=4, core_rate=10.0, unfair_threshold=4),
+            favored_ports={0},
+        )
+        # One packet from a disfavored port, queue stays short: FIFO.
+        done = switch.send(3, 2, 1.0)
+        sim.run(until=done)
+        assert sim.now < 1.0
+
+
+class TestDeadlockRecovery:
+    def test_long_gap_triggers_stall(self):
+        sim = Simulator()
+        switch = make_switch(sim, deadlock_gap=0.5, deadlock_stall=2.0)
+        mid = "msg-1"
+        first = switch.send(0, 1, 1.0, message_id=mid)
+        sim.run(until=first)
+        t_first = sim.now
+
+        def late_packet():
+            yield sim.timeout(1.0)  # gap 1.0 > threshold 0.5
+            done = switch.send(0, 1, 1.0, message_id=mid)
+            yield done
+
+        proc = sim.process(late_packet())
+        sim.run(until=proc)
+        assert switch.deadlock_events == 1
+        # The second packet paid the 2 s recovery stall.
+        assert sim.now >= t_first + 1.0 + 2.0
+
+    def test_short_gaps_never_trigger(self):
+        sim = Simulator()
+        switch = make_switch(sim, deadlock_gap=0.5)
+        mid = "msg-1"
+
+        def stream():
+            for __ in range(5):
+                done = switch.send(0, 1, 0.1, message_id=mid)
+                yield done
+                yield sim.timeout(0.2)
+
+        sim.run(until=sim.process(stream()))
+        assert switch.deadlock_events == 0
+
+    def test_stall_halts_unrelated_traffic(self):
+        sim = Simulator()
+        switch = make_switch(sim, deadlock_gap=0.5, deadlock_stall=2.0)
+        mid = "msg-1"
+        sim.run(until=switch.send(0, 1, 0.1, message_id=mid))
+
+        def trigger():
+            yield sim.timeout(1.0)
+            switch.send(0, 1, 0.1, message_id=mid)
+
+        sim.process(trigger())
+
+        def victim():
+            yield sim.timeout(1.05)  # just after the stall begins
+            done = switch.send(2, 3, 1.0)
+            yield done
+
+        proc = sim.process(victim())
+        start_estimate = 1.05
+        sim.run(until=proc)
+        # Without the stall this takes ~0.35s; with it, > 2s.
+        assert sim.now - start_estimate > 2.0
+        assert switch.deadlock_events == 1
+
+    def test_end_message_resets_tracking(self):
+        sim = Simulator()
+        switch = make_switch(sim, deadlock_gap=0.5)
+        mid = "msg-1"
+        sim.run(until=switch.send(0, 1, 0.1, message_id=mid))
+        switch.end_message(mid)
+
+        def later():
+            yield sim.timeout(5.0)
+            yield switch.send(0, 1, 0.1, message_id=mid)
+
+        sim.run(until=sim.process(later()))
+        assert switch.deadlock_events == 0
+
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        switch = make_switch(sim)
+        mid = "m"
+        sim.run(until=switch.send(0, 1, 0.1, message_id=mid))
+
+        def later():
+            yield sim.timeout(100.0)
+            yield switch.send(0, 1, 0.1, message_id=mid)
+
+        sim.run(until=sim.process(later()))
+        assert switch.deadlock_events == 0

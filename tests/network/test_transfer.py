@@ -1,0 +1,145 @@
+"""Unit tests for collective transfers (the E7/E8/E9 workload shapes)."""
+
+import pytest
+
+from repro.network import (
+    Switch,
+    SwitchConfig,
+    all_to_all_transpose,
+    global_transfer,
+    send_message,
+)
+from repro.sim import Simulator
+
+
+def cluster(sim, n=8, favored=None, **overrides):
+    defaults = dict(
+        n_ports=n,
+        port_rate=10.0,
+        core_rate=10.0 * n,
+        receiver_rate=10.0,
+        buffer_packets=4 * n,
+        unfair_threshold=n,
+    )
+    defaults.update(overrides)
+    return Switch(sim, SwitchConfig(**defaults), favored_ports=favored)
+
+
+class TestTranspose:
+    def test_healthy_transpose_rate(self):
+        sim = Simulator()
+        switch = cluster(sim)
+        result = sim.run(until=all_to_all_transpose(sim, switch, size_per_pair_mb=2.0))
+        assert result.total_mb == pytest.approx(2.0 * 8 * 7)
+        # 8 receivers at 10 MB/s bound the aggregate at 80 MB/s.
+        assert result.throughput_mb_s > 0.5 * 80.0
+
+    def test_slow_receiver_collapses_transpose(self):
+        """E8 shape: one receiver at a fraction of link rate slows the
+        *whole* transpose by ~the CM-5's factor of three."""
+
+        def run(slow_factor):
+            sim = Simulator()
+            switch = cluster(sim)
+            if slow_factor is not None:
+                switch.receivers[3].set_slowdown("slow", slow_factor)
+            result = sim.run(
+                until=all_to_all_transpose(sim, switch, size_per_pair_mb=2.0)
+            )
+            return result.throughput_mb_s
+
+        healthy = run(None)
+        degraded = run(0.2)
+        assert healthy / degraded > 2.0
+
+    def test_result_counts_all_bytes(self):
+        sim = Simulator()
+        switch = cluster(sim, n=4)
+        result = sim.run(
+            until=all_to_all_transpose(sim, switch, 1.0, packets_per_pair=2)
+        )
+        assert result.total_mb == pytest.approx(12.0)
+
+    def test_nodes_subset(self):
+        sim = Simulator()
+        switch = cluster(sim, n=8)
+        result = sim.run(
+            until=all_to_all_transpose(sim, switch, 1.0, nodes=[0, 2, 4])
+        )
+        assert result.total_mb == pytest.approx(6.0)
+
+    def test_validation(self):
+        sim = Simulator()
+        switch = cluster(sim)
+        with pytest.raises(ValueError):
+            all_to_all_transpose(sim, switch, 0.0)
+        with pytest.raises(ValueError):
+            all_to_all_transpose(sim, switch, 1.0, packets_per_pair=0)
+        with pytest.raises(ValueError):
+            all_to_all_transpose(sim, switch, 1.0, nodes=[1])
+
+
+class TestGlobalTransfer:
+    def test_healthy_ring_rate(self):
+        sim = Simulator()
+        switch = cluster(sim)
+        result = sim.run(until=global_transfer(sim, switch, per_node_mb=20.0))
+        assert result.total_mb == pytest.approx(160.0)
+        assert result.throughput_mb_s > 0.5 * 80.0
+
+    def test_unfairness_slows_global_transfer(self):
+        """E7 shape: disfavored routes under load cut the global rate."""
+
+        def run(favored):
+            sim = Simulator()
+            switch = cluster(
+                sim,
+                favored=favored,
+                core_rate=30.0,  # loaded core: arbitration matters
+                unfair_threshold=8,
+                unfair_penalty=0.1,
+            )
+            result = sim.run(until=global_transfer(sim, switch, per_node_mb=20.0))
+            return result.throughput_mb_s
+
+        fair = run(None)
+        unfair = run({0, 1, 2, 3})
+        assert unfair < 0.75 * fair
+
+    def test_validation(self):
+        sim = Simulator()
+        switch = cluster(sim)
+        with pytest.raises(ValueError):
+            global_transfer(sim, switch, 0.0)
+        with pytest.raises(ValueError):
+            global_transfer(sim, switch, 1.0, nodes=[2])
+
+
+class TestSendMessage:
+    def test_message_without_faults(self):
+        sim = Simulator()
+        switch = cluster(sim, n=4)
+        result = sim.run(
+            until=send_message(sim, switch, 0, 1, n_packets=5, packet_mb=1.0, gap=0.01)
+        )
+        assert result.total_mb == pytest.approx(5.0)
+        assert switch.deadlock_events == 0
+
+    def test_long_gaps_trigger_repeated_stalls(self):
+        sim = Simulator()
+        switch = cluster(sim, n=4, deadlock_gap=0.1, deadlock_stall=2.0)
+        result = sim.run(
+            until=send_message(sim, switch, 0, 1, n_packets=5, packet_mb=0.1, gap=0.5)
+        )
+        assert switch.deadlock_events == 4  # every inter-packet gap trips it
+        # Stalls from successive gaps overlap (each trigger restarts a 2 s
+        # recovery), so the floor is last-send time + one full stall.
+        assert result.duration > 4 * 0.5 + 2.0
+
+    def test_validation(self):
+        sim = Simulator()
+        switch = cluster(sim, n=4)
+        with pytest.raises(ValueError):
+            send_message(sim, switch, 0, 1, n_packets=0, packet_mb=1.0, gap=0.1)
+        with pytest.raises(ValueError):
+            send_message(sim, switch, 0, 1, n_packets=1, packet_mb=0.0, gap=0.1)

@@ -1,0 +1,131 @@
+"""Unit tests for the fault-masking cache model."""
+
+import pytest
+
+from repro.processor import Cache, CacheConfig, run_trace, working_set_loop
+
+
+def viking_cache():
+    """The specified Viking L1: 16 KB, 4-way, 32 B lines."""
+    return Cache(CacheConfig(size_bytes=16 * 1024, ways=4, line_bytes=32))
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        config = CacheConfig(size_bytes=16 * 1024, ways=4, line_bytes=32)
+        assert config.n_sets == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=3, line_bytes=32)  # not divisible
+
+
+class TestBasicCaching:
+    def test_cold_miss_then_hit(self):
+        cache = viking_cache()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(31)  # same line
+        assert not cache.access(32)  # next line
+
+    def test_lru_eviction_within_set(self):
+        cache = Cache(CacheConfig(size_bytes=4 * 32, ways=4, line_bytes=32))  # 1 set
+        for i in range(4):
+            cache.access(i * 32)
+        cache.access(0)  # refresh line 0
+        cache.access(4 * 32)  # evicts line 1 (LRU)
+        assert cache.access(0)
+        assert not cache.access(1 * 32)
+
+    def test_fitting_working_set_hits_in_steady_state(self):
+        cache = viking_cache()
+        trace = working_set_loop(8 * 1024, iterations=5)
+        run_trace(cache, trace)
+        cache.reset_counters()
+        run_trace(cache, working_set_loop(8 * 1024, iterations=5))
+        assert cache.hit_rate() > 0.99
+
+    def test_oversized_working_set_thrashes(self):
+        cache = viking_cache()
+        trace = working_set_loop(64 * 1024, iterations=3)
+        cost = run_trace(cache, trace)
+        assert cost.misses / cost.accesses > 0.9
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            viking_cache().access(-1)
+
+
+class TestFaultMasking:
+    def test_mask_ways_reduces_effective_size(self):
+        """The Viking case: 16 KB 4-way masked down to 4 KB direct-mapped."""
+        cache = viking_cache()
+        cache.mask_ways(3)
+        assert cache.effective_size_bytes == 4 * 1024
+        assert cache.effective_ways(0) == 1
+
+    def test_masked_cache_thrashes_where_healthy_fits(self):
+        healthy = viking_cache()
+        masked = viking_cache()
+        masked.mask_ways(3)
+        trace = working_set_loop(8 * 1024, iterations=5)
+        healthy_cost = run_trace(healthy, trace)
+        masked_cost = run_trace(masked, trace)
+        assert masked_cost.cycles > 2 * healthy_cost.cycles
+
+    def test_mask_set_is_local(self):
+        cache = viking_cache()
+        cache.mask_set(0, 4)  # set 0 completely off (Vax-style line kill)
+        assert cache.effective_ways(0) == 0
+        assert cache.effective_ways(1) == 4
+        # Addresses mapping to set 0 always miss.
+        assert not cache.access(0)
+        assert not cache.access(0)
+        # Other sets behave normally.
+        assert not cache.access(32)
+        assert cache.access(32)
+
+    def test_whole_cache_off(self):
+        """Vax-11/750: direct-mapped cache shut off entirely under fault."""
+        cache = Cache(CacheConfig(size_bytes=2 * 1024, ways=1, line_bytes=32))
+        for s in range(cache.config.n_sets):
+            cache.mask_set(s, 1)
+        trace = working_set_loop(1024, iterations=3)
+        cost = run_trace(cache, trace)
+        assert cost.misses == cost.accesses
+
+    def test_masking_trims_resident_lines(self):
+        cache = Cache(CacheConfig(size_bytes=4 * 32, ways=4, line_bytes=32))
+        for i in range(4):
+            cache.access(i * 32)
+        cache.mask_ways(3)
+        # Only the most recent line survives.
+        assert cache.access(3 * 32)
+        assert not cache.access(0)
+
+    def test_validation(self):
+        cache = viking_cache()
+        with pytest.raises(ValueError):
+            cache.mask_ways(4)
+        with pytest.raises(ValueError):
+            cache.mask_ways(-1)
+        with pytest.raises(ValueError):
+            cache.mask_set(1000, 1)
+        with pytest.raises(ValueError):
+            cache.mask_set(0, -1)
+
+
+class TestRunTrace:
+    def test_cycle_accounting(self):
+        cache = viking_cache()
+        cost = run_trace(cache, [0, 0, 0], hit_cycles=1, miss_cycles=20)
+        assert cost.accesses == 3
+        assert cost.misses == 1
+        assert cost.cycles == 20 + 1 + 1
+        assert cost.cpi == pytest.approx(22 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_trace(viking_cache(), [0], hit_cycles=0)

@@ -1,0 +1,117 @@
+"""Unit tests for page coloring and memory-bank interference."""
+
+import random
+
+import pytest
+
+from repro.processor import (
+    BankedMemory,
+    color_conflicts,
+    colored_placement,
+    perturbed_stream,
+    random_placement,
+    run_stream,
+    run_working_set,
+)
+
+
+class TestPlacements:
+    def test_colored_placement_spreads_evenly(self):
+        placement = colored_placement(16, 16)
+        assert sorted(placement) == list(range(16))
+        assert color_conflicts(placement) == 0
+
+    def test_colored_placement_wraps(self):
+        placement = colored_placement(20, 16)
+        assert color_conflicts(placement) == 8  # 4 colors doubled
+
+    def test_random_placement_usually_conflicts(self):
+        placement = random_placement(16, 16, random.Random(0))
+        assert color_conflicts(placement) > 0  # birthday paradox
+
+    def test_random_placement_deterministic_per_seed(self):
+        a = random_placement(16, 16, random.Random(3))
+        b = random_placement(16, 16, random.Random(3))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            colored_placement(0, 16)
+        with pytest.raises(ValueError):
+            random_placement(16, 0, random.Random(0))
+
+
+class TestWorkingSetRuns:
+    def test_conflict_free_placement_hits_after_cold_pass(self):
+        cost = run_working_set(colored_placement(16, 16), 16, iterations=10)
+        # 16 cold misses, then all hits.
+        assert cost.misses == 16
+
+    def test_conflicting_pages_miss_every_iteration(self):
+        placement = [0, 0]  # two pages, same color
+        cost = run_working_set(placement, 16, iterations=10)
+        assert cost.misses == 20  # both alternate out every pass
+
+    def test_random_placement_slower_than_colored(self):
+        """The Chen & Bershad shape: mapping decisions cost up to ~50%."""
+        colored_cost = run_working_set(colored_placement(16, 16), 16, iterations=50)
+        worst = max(
+            run_working_set(
+                random_placement(16, 16, random.Random(seed)), 16, iterations=50
+            ).cycles
+            for seed in range(20)
+        )
+        assert worst > 1.4 * colored_cost.cycles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_working_set([0], 0)
+        with pytest.raises(ValueError):
+            run_working_set([0], 4, iterations=0)
+        with pytest.raises(ValueError):
+            run_working_set([0], 4, hit_cycles=0)
+
+
+class TestBankedMemory:
+    def test_stride_one_never_stalls(self):
+        memory = BankedMemory(n_banks=8, bank_busy=8)
+        result = run_stream(memory, range(100))
+        assert result.stall_cycles == 0
+        assert result.efficiency == pytest.approx(1.0)
+
+    def test_same_bank_stream_fully_serialised(self):
+        memory = BankedMemory(n_banks=8, bank_busy=8)
+        result = run_stream(memory, [0] * 10)
+        # Each reference waits the full bank recovery of its predecessor.
+        assert result.efficiency == pytest.approx(1 / 8, rel=0.2)
+
+    def test_scalar_perturbations_halve_efficiency(self):
+        """The Raghavan & Hayes shape: perturbed vector streams lose up
+        to 2x memory-system efficiency."""
+        rng = random.Random(0)
+        memory_clean = BankedMemory(n_banks=8, bank_busy=8)
+        clean = run_stream(memory_clean, perturbed_stream(2000, 0.0, 8, rng))
+        memory_noisy = BankedMemory(n_banks=8, bank_busy=8)
+        noisy = run_stream(memory_noisy, perturbed_stream(2000, 0.5, 8, rng))
+        assert clean.efficiency / noisy.efficiency > 1.6
+
+    def test_efficiency_monotone_in_perturbation(self):
+        def eff(p, seed=1):
+            memory = BankedMemory(n_banks=8, bank_busy=8)
+            return run_stream(
+                memory, perturbed_stream(1500, p, 8, random.Random(seed))
+            ).efficiency
+
+        values = [eff(p) for p in (0.0, 0.2, 0.5, 0.9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BankedMemory(n_banks=0)
+        memory = BankedMemory()
+        with pytest.raises(ValueError):
+            memory.reference(-1, 0)
+        with pytest.raises(ValueError):
+            perturbed_stream(0, 0.5, 8, random.Random(0))
+        with pytest.raises(ValueError):
+            perturbed_stream(10, 1.5, 8, random.Random(0))

@@ -1,0 +1,144 @@
+"""Unit tests for the TLB and next-field predictor models."""
+
+import random
+
+import pytest
+
+from repro.processor import (
+    NextFieldPredictor,
+    Tlb,
+    alternating_snippet,
+    divergence,
+    run_snippet,
+)
+
+
+class TestTlb:
+    def test_hit_after_insert(self):
+        tlb = Tlb(entries=4)
+        assert not tlb.translate(7)
+        assert tlb.translate(7)
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2)
+        tlb.translate(1)
+        tlb.translate(2)
+        tlb.translate(1)  # refresh 1
+        tlb.translate(3)  # evicts 2
+        assert tlb.contents() == {1, 3}
+
+    def test_lru_is_deterministic(self):
+        def run():
+            tlb = Tlb(entries=8)
+            for page in [1, 2, 3, 1, 4, 5, 6, 7, 8, 9, 2]:
+                tlb.translate(page)
+            return tlb.contents()
+
+        assert run() == run()
+
+    def test_random_policy_needs_rng(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=4, policy="random")
+
+    def test_random_policy_diverges_on_identical_streams(self):
+        """The Bressoud & Schneider observation: identical reference
+        streams, different TLB contents."""
+        rng_a, rng_b = random.Random(1), random.Random(2)
+        a = Tlb(entries=16, policy="random", rng=rng_a)
+        b = Tlb(entries=16, policy="random", rng=rng_b)
+        stream = [i % 40 for i in range(500)]  # working set 40 > capacity 16
+        for page in stream:
+            a.translate(page)
+            b.translate(page)
+        assert divergence(a, b) > 0.0
+
+    def test_lru_replicas_never_diverge(self):
+        a, b = Tlb(entries=16), Tlb(entries=16)
+        stream = [i % 40 for i in range(500)]
+        for page in stream:
+            a.translate(page)
+            b.translate(page)
+        assert divergence(a, b) == 0.0
+
+    def test_miss_rate(self):
+        tlb = Tlb(entries=4)
+        tlb.translate(1)
+        tlb.translate(1)
+        assert tlb.miss_rate() == pytest.approx(0.5)
+        assert Tlb(entries=4).miss_rate() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=0)
+        with pytest.raises(ValueError):
+            Tlb(entries=4, policy="magic")
+        with pytest.raises(ValueError):
+            Tlb(entries=4).translate(-1)
+
+
+class TestDivergence:
+    def test_empty_tlbs_identical(self):
+        assert divergence(Tlb(entries=4), Tlb(entries=4)) == 0.0
+
+    def test_disjoint_contents_fully_divergent(self):
+        a, b = Tlb(entries=2), Tlb(entries=2)
+        a.translate(1)
+        b.translate(2)
+        assert divergence(a, b) == 1.0
+
+
+class TestNextFieldPredictor:
+    def test_always_update_thrashes_on_alternation(self):
+        """The pathological snippet: alternating targets defeat the
+        always-update policy on every dispatch after warmup."""
+        predictor = NextFieldPredictor(4, random.Random(0), update="always")
+        result = run_snippet(predictor, alternating_snippet(100))
+        assert result.mispredictions >= 98
+
+    def test_sticky_update_half_wrong_on_alternation(self):
+        predictor = NextFieldPredictor(4, random.Random(0), update="sticky")
+        result = run_snippet(predictor, alternating_snippet(100, targets=(1, 2)))
+        # The sticky entry equals one of the two targets at most: >= 50% wrong.
+        assert 48 <= result.mispredictions <= 100
+
+    def test_constant_target_runtime_depends_on_initial_state(self):
+        """Kushman's nonmonotonicity: the same program, 'identical
+        conditions', run times differing by the penalty ratio."""
+        snippet = [(0, 5)] * 100  # constant target
+
+        def runtime(seed):
+            predictor = NextFieldPredictor(
+                4, random.Random(seed), update="sticky", target_space=8
+            )
+            return run_snippet(predictor, snippet, base_cycles=1, mispredict_penalty=2).cycles
+
+        times = {runtime(seed) for seed in range(40)}
+        assert len(times) == 2  # fast runs and slow runs, nothing between
+        assert max(times) / min(times) == pytest.approx(3.0)
+
+    def test_always_update_learns_constant_target(self):
+        predictor = NextFieldPredictor(4, random.Random(0), update="always")
+        result = run_snippet(predictor, [(0, 5)] * 100)
+        assert result.mispredictions <= 1
+
+    def test_misprediction_rate(self):
+        predictor = NextFieldPredictor(4, random.Random(0), update="always")
+        assert predictor.misprediction_rate() == 0.0
+        run_snippet(predictor, alternating_snippet(10))
+        assert predictor.misprediction_rate() > 0.8
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            NextFieldPredictor(0, rng)
+        with pytest.raises(ValueError):
+            NextFieldPredictor(4, rng, update="magic")
+        with pytest.raises(ValueError):
+            NextFieldPredictor(4, rng, target_space=1)
+        predictor = NextFieldPredictor(4, rng)
+        with pytest.raises(ValueError):
+            predictor.predict(99, 0)
+        with pytest.raises(ValueError):
+            alternating_snippet(0)
+        with pytest.raises(ValueError):
+            run_snippet(predictor, [(0, 1)], base_cycles=0)

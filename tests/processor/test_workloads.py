@@ -1,0 +1,67 @@
+"""Unit tests for synthetic address-trace generators."""
+
+import random
+
+import pytest
+
+from repro.processor import (
+    sequential_trace,
+    strided_trace,
+    working_set_loop,
+    zipf_trace,
+)
+
+
+class TestWorkingSetLoop:
+    def test_covers_the_set_each_iteration(self):
+        trace = working_set_loop(1024, iterations=3, stride=32)
+        assert len(trace) == 32 * 3
+        assert len(set(trace)) == 32
+
+    def test_base_offsets_addresses(self):
+        trace = working_set_loop(64, iterations=1, stride=32, base=1000)
+        assert trace == [1000, 1032]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            working_set_loop(16, iterations=1, stride=32)  # smaller than stride
+        with pytest.raises(ValueError):
+            working_set_loop(64, iterations=0)
+
+
+class TestSequentialAndStrided:
+    def test_sequential_addresses(self):
+        assert sequential_trace(3, stride=32) == [0, 32, 64]
+
+    def test_strided_addresses(self):
+        assert strided_trace(3, stride=4096, base=8) == [8, 4104, 8200]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequential_trace(0)
+        with pytest.raises(ValueError):
+            strided_trace(3, stride=0)
+
+
+class TestZipfTrace:
+    def test_addresses_are_page_aligned(self):
+        trace = zipf_trace(100, 16, random.Random(0), page_bytes=4096)
+        assert all(addr % 4096 == 0 for addr in trace)
+        assert all(0 <= addr < 16 * 4096 for addr in trace)
+
+    def test_skew_favours_low_ranks(self):
+        trace = zipf_trace(5000, 64, random.Random(1), s=1.2)
+        page0 = sum(1 for a in trace if a == 0)
+        tail_page = sum(1 for a in trace if a == 63 * 4096)
+        assert page0 > 5 * max(1, tail_page)
+
+    def test_deterministic_per_seed(self):
+        a = zipf_trace(50, 16, random.Random(9))
+        b = zipf_trace(50, 16, random.Random(9))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_trace(0, 16, random.Random(0))
+        with pytest.raises(ValueError):
+            zipf_trace(10, 16, random.Random(0), s=0.0)

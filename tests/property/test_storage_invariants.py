@@ -1,0 +1,111 @@
+"""Property tests for LFS and DHT durability invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ReplicatedDht
+from repro.sim import Simulator
+from repro.storage import Disk, DiskParams, LfsConfig, LogFs, uniform_geometry
+
+PARAMS = DiskParams(rpm=10_000, avg_seek=0.005, block_size_mb=0.5)
+
+
+class TestLfsInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_location_map_consistent_after_any_write_sequence(self, block_ids):
+        """Every live block's recorded location is inside a segment that
+        claims it; segment accounting never leaks or double-frees."""
+        sim = Simulator()
+        disk = Disk(sim, "log", uniform_geometry(16 * 16, 40.0), PARAMS)
+        fs = LogFs(sim, disk, LfsConfig(segment_blocks=16, n_segments=16,
+                                        clean_low_water=3, clean_high_water=6))
+
+        def writer():
+            for block_id in block_ids:
+                yield fs.write(block_id)
+
+        sim.run(until=sim.process(writer()))
+        # Live set is exactly the distinct ids written.
+        assert fs.live_blocks() == len(set(block_ids))
+        # The location map and the per-segment live sets agree.
+        for block_id in set(block_ids):
+            segment, offset = fs._where[block_id]
+            assert block_id in fs._live[segment]
+            assert 0 <= offset < fs.config.segment_blocks
+        # No segment is both free and holding live data.
+        for segment in fs._free:
+            assert not fs._live[segment]
+        # Appends counted exactly.
+        assert fs.stats.appends == len(block_ids)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_heavy_churn_never_wedges(self, seed):
+        sim = Simulator()
+        disk = Disk(sim, "log", uniform_geometry(12 * 16, 40.0), PARAMS)
+        fs = LogFs(sim, disk, LfsConfig(segment_blocks=16, n_segments=12,
+                                        clean_low_water=3, clean_high_water=6))
+        rng = random.Random(seed)
+
+        def writer():
+            for __ in range(300):
+                yield fs.write(rng.randrange(40))
+
+        sim.run(until=sim.process(writer()))
+        assert fs.stats.appends == 300
+
+
+class TestDhtDurability:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),  # key id
+                st.integers(min_value=0, max_value=999),  # value
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.sampled_from(["hash", "adaptive"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_get_returns_last_put(self, operations, placement):
+        sim = Simulator()
+        dht = ReplicatedDht(sim, n_pairs=3, brick_rate=100.0, placement=placement)
+        expected = {}
+
+        def driver():
+            for key_id, value in operations:
+                key = f"k{key_id}"
+                yield dht.put(key, value)
+                expected[key] = value
+            for key, value in expected.items():
+                got = yield dht.get(key)
+                assert got == value
+
+        sim.run(until=sim.process(driver()))
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=30))
+    @settings(max_examples=20, deadline=None)
+    def test_adaptive_placement_is_stable(self, key_ids):
+        """Once placed, a key's pair never changes (the bookkeeping
+        contract adaptive placement relies on)."""
+        sim = Simulator()
+        dht = ReplicatedDht(sim, n_pairs=3, brick_rate=100.0, placement="adaptive")
+        first_placement = {}
+
+        def driver():
+            for key_id in key_ids:
+                key = f"k{key_id}"
+                yield dht.put(key, key_id)
+                pair = dht.pair_of(key)
+                if key in first_placement:
+                    assert pair == first_placement[key]
+                else:
+                    first_placement[key] = pair
+
+        sim.run(until=sim.process(driver()))
+        assert dht.bookkeeping_entries == len(set(key_ids))

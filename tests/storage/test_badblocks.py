@@ -1,0 +1,79 @@
+"""Unit tests for bad-block remapping."""
+
+import random
+
+import pytest
+
+from repro.storage import BadBlockMap
+
+
+class TestBadBlockMap:
+    def test_empty_by_default(self):
+        bmap = BadBlockMap()
+        assert len(bmap) == 0
+        assert not bmap.is_remapped(0)
+
+    def test_explicit_members(self):
+        bmap = BadBlockMap([3, 7])
+        assert bmap.is_remapped(3)
+        assert bmap.is_remapped(7)
+        assert not bmap.is_remapped(5)
+
+    def test_remap_grows(self):
+        bmap = BadBlockMap()
+        bmap.remap(12)
+        assert bmap.is_remapped(12)
+        assert len(bmap) == 1
+
+    def test_remap_idempotent(self):
+        bmap = BadBlockMap()
+        bmap.remap(12)
+        bmap.remap(12)
+        assert len(bmap) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BadBlockMap([-1])
+        with pytest.raises(ValueError):
+            BadBlockMap().remap(-3)
+
+    def test_remapped_in_range(self):
+        bmap = BadBlockMap([2, 5, 9, 100])
+        assert bmap.remapped_in_range(0, 10) == 3
+        assert bmap.remapped_in_range(5, 1) == 1
+        assert bmap.remapped_in_range(6, 3) == 0  # [6, 9) excludes 9
+        assert bmap.remapped_in_range(6, 4) == 1  # [6, 10) includes 9
+        assert bmap.remapped_in_range(10, 5) == 0
+        assert bmap.remapped_in_range(0, 0) == 0
+
+
+class TestRandomGeneration:
+    def test_rate_zero_is_empty(self):
+        bmap = BadBlockMap.random(1000, 0.0, random.Random(0))
+        assert len(bmap) == 0
+
+    def test_deterministic_per_seed(self):
+        a = BadBlockMap.random(1000, 0.01, random.Random(5))
+        b = BadBlockMap.random(1000, 0.01, random.Random(5))
+        assert {x for x in range(1000) if a.is_remapped(x)} == {
+            x for x in range(1000) if b.is_remapped(x)
+        }
+
+    def test_count_scales_with_rate(self):
+        """A 3x fault rate yields ~3x the remapped blocks (Hawk claim)."""
+        rng = random.Random(7)
+        low = BadBlockMap.random(100_000, 0.001, rng)
+        high = BadBlockMap.random(100_000, 0.003, rng)
+        assert len(high) / max(1, len(low)) == pytest.approx(3.0, rel=0.5)
+
+    def test_large_capacity_uses_binomial_path(self):
+        bmap = BadBlockMap.random(1_000_000, 0.0001, random.Random(3))
+        # mean 100, generous bounds
+        assert 40 <= len(bmap) <= 200
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            BadBlockMap.random(0, 0.1, rng)
+        with pytest.raises(ValueError):
+            BadBlockMap.random(100, 1.5, rng)

@@ -1,0 +1,176 @@
+"""Unit tests for the SCSI bus model."""
+
+import random
+
+import pytest
+
+from repro.faults import Exponential, Fixed
+from repro.sim import Simulator
+from repro.storage import TALAGALA_MIX, Disk, ErrorMix, ScsiBus, uniform_geometry
+
+
+def chain(sim, n=4):
+    return [Disk(sim, f"d{i}", geometry=uniform_geometry(10_000, 5.5)) for i in range(n)]
+
+
+class TestErrorMix:
+    def test_talagala_fractions(self):
+        """Calibration target: 49% of all errors, 87% excluding network."""
+        assert TALAGALA_MIX.scsi_fraction == pytest.approx(0.49, abs=0.01)
+        assert TALAGALA_MIX.scsi_fraction_excluding_network == pytest.approx(0.875, abs=0.01)
+
+    def test_classify_respects_weights(self):
+        rng = random.Random(0)
+        mix = ErrorMix(timeout=1.0, parity=0.0, network=0.0, other=0.0)
+        assert all(mix.classify(rng) == "timeout" for __ in range(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorMix(timeout=-1.0)
+        with pytest.raises(ValueError):
+            ErrorMix(timeout=0.0, parity=0.0, network=0.0, other=0.0)
+
+
+class TestScsiBus:
+    def test_reset_stalls_every_disk_on_chain(self):
+        sim = Simulator()
+        disks = chain(sim)
+        bus = ScsiBus(
+            sim,
+            disks,
+            error_interarrival=Fixed(10.0),
+            reset_duration=Fixed(2.0),
+            mix=ErrorMix(timeout=1.0, parity=0.0, network=0.0, other=0.0),
+            rng=random.Random(0),
+        )
+        bus.start()
+        observed = []
+
+        def probe():
+            yield sim.timeout(11.0)  # inside the reset [10, 12)
+            observed.append([d.effective_rate for d in disks])
+            yield sim.timeout(2.0)  # after the reset
+            observed.append([d.effective_rate for d in disks])
+
+        sim.process(probe())
+        sim.run(until=14.0)
+        assert observed[0] == [0.0] * 4
+        assert observed[1] == [1.0] * 4  # DegradableServer nominal rate is 1.0
+
+    def test_network_errors_do_not_reset(self):
+        sim = Simulator()
+        disks = chain(sim)
+        bus = ScsiBus(
+            sim,
+            disks,
+            error_interarrival=Fixed(5.0),
+            mix=ErrorMix(timeout=0.0, parity=0.0, network=1.0, other=0.0),
+            rng=random.Random(0),
+        )
+        bus.start()
+        sim.run(until=30.0)
+        assert len(bus.errors) >= 5
+        assert bus.reset_count == 0
+
+    def test_reset_delays_inflight_io(self):
+        sim = Simulator()
+        disks = chain(sim, 2)
+        bus = ScsiBus(
+            sim,
+            disks,
+            error_interarrival=Fixed(1.0),
+            reset_duration=Fixed(2.0),
+            mix=ErrorMix(timeout=1.0, parity=0.0, network=0.0, other=0.0),
+            rng=random.Random(0),
+        )
+        bus.start()
+        # 11 blocks at 5.5 MB/s = 1s transfer + positioning; reset at t=1
+        # inserts a 2s stall.
+        done = disks[0].read(0, 11)
+        stats = sim.run(until=done)
+        nominal = disks[0].params.positioning_time + 1.0
+        assert stats.completed_at == pytest.approx(nominal + 2.0)
+
+    def test_error_accounting_matches_study_shape(self):
+        """Over many errors the observed mix approaches 49% / 87%."""
+        sim = Simulator()
+        disks = chain(sim, 2)
+        bus = ScsiBus(
+            sim,
+            disks,
+            error_interarrival=Exponential(10.0),
+            reset_duration=Fixed(0.1),
+            rng=random.Random(42),
+        )
+        bus.start()
+        sim.run(until=20_000.0)
+        assert len(bus.errors) > 500
+        assert bus.scsi_error_fraction() == pytest.approx(0.49, abs=0.06)
+        assert bus.scsi_error_fraction(exclude_network=True) == pytest.approx(0.87, abs=0.06)
+
+    def test_error_counts_by_class(self):
+        sim = Simulator()
+        disks = chain(sim, 2)
+        bus = ScsiBus(
+            sim,
+            disks,
+            error_interarrival=Fixed(1.0),
+            mix=ErrorMix(timeout=1.0, parity=0.0, network=0.0, other=0.0),
+            reset_duration=Fixed(0.1),
+            rng=random.Random(0),
+        )
+        bus.start()
+        sim.run(until=5.5)
+        assert bus.error_counts() == {"timeout": 5}
+
+    def test_stop_halts_error_process(self):
+        sim = Simulator()
+        disks = chain(sim, 2)
+        bus = ScsiBus(sim, disks, error_interarrival=Fixed(1.0), rng=random.Random(0))
+        bus.start()
+
+        def stopper():
+            yield sim.timeout(3.5)
+            bus.stop()
+
+        sim.process(stopper())
+        sim.run(until=20.0)
+        assert len(bus.errors) <= 4
+
+    def test_start_idempotent(self):
+        sim = Simulator()
+        disks = chain(sim, 2)
+        bus = ScsiBus(
+            sim,
+            disks,
+            error_interarrival=Fixed(1.0),
+            mix=ErrorMix(timeout=1.0, parity=0.0, network=0.0, other=0.0),
+            reset_duration=Fixed(0.1),
+            rng=random.Random(0),
+        )
+        bus.start()
+        bus.start()
+        sim.run(until=2.5)
+        assert len(bus.errors) == 2  # one process, not two
+
+    def test_empty_chain_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ScsiBus(sim, [])
+
+    def test_stopped_disk_skipped_by_reset(self):
+        sim = Simulator()
+        disks = chain(sim, 2)
+        disks[0].stop()
+        bus = ScsiBus(
+            sim,
+            disks,
+            error_interarrival=Fixed(1.0),
+            reset_duration=Fixed(10.0),
+            mix=ErrorMix(timeout=1.0, parity=0.0, network=0.0, other=0.0),
+            rng=random.Random(0),
+        )
+        bus.start()
+        sim.run(until=2.0)
+        assert disks[0].stopped
+        assert disks[1].effective_rate == 0.0

@@ -1,0 +1,188 @@
+"""Unit tests for the disk model."""
+
+import pytest
+
+from repro.faults import ComponentState
+from repro.sim import Simulator
+from repro.storage import (
+    BadBlockMap,
+    Disk,
+    DiskParams,
+    uniform_geometry,
+    zoned_geometry,
+)
+
+
+def hawk(sim, name="disk0", rate=5.5, capacity=100_000, badblocks=None):
+    return Disk(
+        sim,
+        name,
+        geometry=uniform_geometry(capacity, rate),
+        params=DiskParams(rpm=5400, avg_seek=0.011, block_size_mb=0.5),
+        badblocks=badblocks,
+    )
+
+
+class TestDiskParams:
+    def test_rotational_latency(self):
+        params = DiskParams(rpm=5400)
+        assert params.rotational_latency == pytest.approx(0.5 * 60 / 5400)
+
+    def test_positioning_time(self):
+        params = DiskParams(rpm=6000, avg_seek=0.010)
+        assert params.positioning_time == pytest.approx(0.010 + 0.005)
+
+    def test_default_remap_penalty_is_positioning(self):
+        params = DiskParams(rpm=5400, avg_seek=0.011)
+        assert params.effective_remap_penalty == params.positioning_time
+
+    def test_explicit_remap_penalty(self):
+        params = DiskParams(remap_penalty=0.05)
+        assert params.effective_remap_penalty == 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskParams(rpm=0)
+        with pytest.raises(ValueError):
+            DiskParams(avg_seek=-1)
+        with pytest.raises(ValueError):
+            DiskParams(block_size_mb=0)
+        with pytest.raises(ValueError):
+            DiskParams(remap_penalty=-0.1)
+
+
+class TestServiceModel:
+    def test_random_access_charges_positioning(self):
+        sim = Simulator()
+        disk = hawk(sim)
+        t = disk.service_time(100, 1)
+        expected = disk.params.positioning_time + 0.5 / 5.5
+        assert t == pytest.approx(expected)
+
+    def test_sequential_access_skips_positioning(self):
+        sim = Simulator()
+        disk = hawk(sim)
+        disk.service_time(0, 10)  # does not move the head (only reads do)
+        assert disk.service_time(0, 10, sequential_hint=True) == pytest.approx(
+            10 * 0.5 / 5.5
+        )
+
+    def test_head_tracking_makes_next_request_sequential(self):
+        sim = Simulator()
+        disk = hawk(sim)
+        first = disk.read(0, 10)
+        second = disk.read(10, 10)  # starts where the first ended
+        stats = sim.run(until=second)
+        transfer = 10 * 0.5 / 5.5
+        assert stats.service_time == pytest.approx(transfer)
+
+    def test_zone_rate_used_for_transfer(self):
+        sim = Simulator()
+        geo = zoned_geometry(1000, outer_rate=10.0, inner_rate=5.0, n_zones=2)
+        disk = Disk(sim, "z", geometry=geo, params=DiskParams(block_size_mb=1.0))
+        outer = disk.service_time(0, 10, sequential_hint=True)
+        inner = disk.service_time(600, 10, sequential_hint=True)
+        assert outer == pytest.approx(1.0)
+        assert inner == pytest.approx(2.0)
+
+    def test_request_spanning_zones_charged_piecewise(self):
+        sim = Simulator()
+        geo = zoned_geometry(100, outer_rate=10.0, inner_rate=5.0, n_zones=2)
+        disk = Disk(sim, "z", geometry=geo, params=DiskParams(block_size_mb=1.0))
+        # Blocks [45, 55): 5 in the 10 MB/s zone, 5 in the 5 MB/s zone.
+        t = disk.service_time(45, 10, sequential_hint=True)
+        assert t == pytest.approx(5 / 10.0 + 5 / 5.0)
+
+    def test_remapped_blocks_add_penalty(self):
+        sim = Simulator()
+        disk = hawk(sim, badblocks=BadBlockMap([3, 5]))
+        clean = disk.service_time(10, 5, sequential_hint=True)
+        dirty = disk.service_time(2, 5, sequential_hint=True)
+        assert dirty == pytest.approx(clean + 2 * disk.params.effective_remap_penalty)
+
+    def test_bounds_checked(self):
+        sim = Simulator()
+        disk = hawk(sim, capacity=100)
+        with pytest.raises(ValueError):
+            disk.service_time(-1, 1)
+        with pytest.raises(ValueError):
+            disk.service_time(95, 10)
+        with pytest.raises(ValueError):
+            disk.service_time(0, 0)
+
+
+class TestDiskIO:
+    def test_read_completion_time(self):
+        sim = Simulator()
+        disk = hawk(sim)
+        done = disk.read(0, 11)  # 5.5 MB at 5.5 MB/s + positioning
+        stats = sim.run(until=done)
+        assert stats.completed_at == pytest.approx(disk.params.positioning_time + 1.0)
+
+    def test_write_commits_content_at_completion(self):
+        sim = Simulator()
+        disk = hawk(sim)
+        assert disk.peek(5) is None
+        done = disk.write(5, 2, value=99)
+        assert disk.peek(5) is None  # not yet committed
+        sim.run(until=done)
+        assert disk.peek(5) == 99
+        assert disk.peek(6) == 99
+        assert disk.peek(7) is None
+
+    def test_fail_stop_leaves_content_uncommitted(self):
+        sim = Simulator()
+        disk = hawk(sim)
+        disk.write(5, 1, value=99)
+        disk.stop()
+        sim.run()
+        assert disk.peek(5) is None
+
+    def test_slowdown_stretches_io(self):
+        sim = Simulator()
+        disk = hawk(sim)
+        disk.set_slowdown("fault", 0.5)
+        done = disk.read(0, 11)
+        stats = sim.run(until=done)
+        nominal = disk.params.positioning_time + 1.0
+        assert stats.completed_at == pytest.approx(2 * nominal)
+
+    def test_counters(self):
+        sim = Simulator()
+        disk = hawk(sim)
+        disk.read(0, 1)
+        disk.write(10, 1)
+        sim.run()
+        assert disk.reads == 1
+        assert disk.writes == 1
+
+
+class TestBandwidthViews:
+    def test_nominal_bandwidth_is_max_zone(self):
+        sim = Simulator()
+        geo = zoned_geometry(1000, 11.0, 5.5, n_zones=4)
+        disk = Disk(sim, "z", geometry=geo)
+        assert disk.nominal_bandwidth == 11.0
+
+    def test_effective_bandwidth_scales_with_fault(self):
+        sim = Simulator()
+        disk = hawk(sim)
+        disk.set_slowdown("skew", 0.9)
+        assert disk.effective_bandwidth == pytest.approx(5.5 * 0.9)
+        assert disk.state is ComponentState.DEGRADED
+
+    def test_sequential_bandwidth_near_zone_rate(self):
+        sim = Simulator()
+        disk = hawk(sim)
+        assert disk.sequential_bandwidth(0, 1000) == pytest.approx(5.5, rel=1e-6)
+
+    def test_sequential_bandwidth_drops_with_remaps(self):
+        """The Hawk result: more remapped blocks => measurably lower MB/s."""
+        sim = Simulator()
+        import random
+
+        clean = hawk(sim, "clean")
+        dirty = hawk(
+            sim, "dirty", badblocks=BadBlockMap.random(100_000, 0.01, random.Random(1))
+        )
+        assert dirty.sequential_bandwidth(0, 5000) < clean.sequential_bandwidth(0, 5000)

@@ -1,0 +1,80 @@
+"""Unit tests for zone geometry."""
+
+import pytest
+
+from repro.storage import Zone, ZoneGeometry, uniform_geometry, zoned_geometry
+
+
+class TestZone:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Zone(blocks=0, rate=5.0)
+        with pytest.raises(ValueError):
+            Zone(blocks=10, rate=0.0)
+
+
+class TestZoneGeometry:
+    def test_lookup_maps_to_correct_zone(self):
+        geo = ZoneGeometry([Zone(10, 10.0), Zone(10, 5.0)])
+        assert geo.rate_at(0) == 10.0
+        assert geo.rate_at(9) == 10.0
+        assert geo.rate_at(10) == 5.0
+        assert geo.rate_at(19) == 5.0
+
+    def test_out_of_range_rejected(self):
+        geo = ZoneGeometry([Zone(10, 10.0)])
+        with pytest.raises(ValueError):
+            geo.rate_at(-1)
+        with pytest.raises(ValueError):
+            geo.rate_at(10)
+
+    def test_capacity_sums_zones(self):
+        geo = ZoneGeometry([Zone(10, 10.0), Zone(20, 5.0)])
+        assert geo.capacity_blocks == 30
+
+    def test_min_max_rates(self):
+        geo = ZoneGeometry([Zone(10, 10.0), Zone(20, 5.0)])
+        assert geo.max_rate == 10.0
+        assert geo.min_rate == 5.0
+
+    def test_mean_rate_capacity_weighted(self):
+        geo = ZoneGeometry([Zone(10, 10.0), Zone(30, 6.0)])
+        assert geo.mean_rate() == pytest.approx((10 * 10 + 30 * 6) / 40)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ZoneGeometry([])
+
+
+class TestFactories:
+    def test_uniform_geometry_single_zone(self):
+        geo = uniform_geometry(100, 5.5)
+        assert len(geo.zones) == 1
+        assert geo.rate_at(0) == geo.rate_at(99) == 5.5
+
+    def test_zoned_geometry_factor_of_two(self):
+        """The Van Meter claim: outer zones up to 2x inner zones."""
+        geo = zoned_geometry(800, outer_rate=11.0, inner_rate=5.5, n_zones=8)
+        assert geo.max_rate / geo.min_rate == pytest.approx(2.0)
+        assert geo.capacity_blocks == 800
+
+    def test_zoned_geometry_monotone_taper(self):
+        geo = zoned_geometry(800, 11.0, 5.5, n_zones=8)
+        rates = [z.rate for z in geo.zones]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_zoned_geometry_remainder_absorbed(self):
+        geo = zoned_geometry(805, 10.0, 5.0, n_zones=8)
+        assert geo.capacity_blocks == 805
+
+    def test_single_zone_uses_outer_rate(self):
+        geo = zoned_geometry(100, 10.0, 5.0, n_zones=1)
+        assert geo.zones[0].rate == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zoned_geometry(100, 5.0, 10.0)  # inner faster than outer
+        with pytest.raises(ValueError):
+            zoned_geometry(4, 10.0, 5.0, n_zones=8)
+        with pytest.raises(ValueError):
+            zoned_geometry(100, 10.0, 5.0, n_zones=0)

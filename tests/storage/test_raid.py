@@ -1,0 +1,302 @@
+"""Unit tests for RAID levels (timing and data correctness)."""
+
+import pytest
+
+from repro.faults import ComponentStopped
+from repro.sim import Simulator
+from repro.storage import Disk, DiskParams, Raid0, Raid1Pair, Raid5, Raid10, uniform_geometry
+
+FAST_PARAMS = DiskParams(rpm=5400, avg_seek=0.011, block_size_mb=0.5)
+
+
+def make_disks(sim, n, rate=5.5):
+    return [
+        Disk(sim, f"d{i}", geometry=uniform_geometry(100_000, rate), params=FAST_PARAMS)
+        for i in range(n)
+    ]
+
+
+class TestRaid0:
+    def test_locate_round_robin(self):
+        sim = Simulator()
+        raid = Raid0(sim, make_disks(sim, 4))
+        assert raid.locate(0) == (0, 0)
+        assert raid.locate(1) == (1, 0)
+        assert raid.locate(3) == (3, 0)
+        assert raid.locate(4) == (0, 1)
+        assert raid.locate(9) == (1, 2)
+
+    def test_locate_with_stripe_unit(self):
+        sim = Simulator()
+        raid = Raid0(sim, make_disks(sim, 2), stripe_unit=4)
+        assert raid.locate(0) == (0, 0)
+        assert raid.locate(3) == (0, 3)
+        assert raid.locate(4) == (1, 0)
+        assert raid.locate(8) == (0, 4)
+
+    def test_write_read_roundtrip(self):
+        sim = Simulator()
+        raid = Raid0(sim, make_disks(sim, 4))
+        sim.run(until=raid.write(7, value=123))
+        value = sim.run(until=raid.read(7))
+        assert value == 123
+
+    def test_parallel_write_uses_all_disks(self):
+        sim = Simulator()
+        disks = make_disks(sim, 4)
+        raid = Raid0(sim, disks)
+        sim.run(until=raid.write_all(range(16), value=1))
+        assert all(d.writes == 4 for d in disks)
+
+    def test_slow_disk_dominates_parallel_write(self):
+        """E2 shape: one slow disk drags the whole stripe down."""
+        sim = Simulator()
+        disks = make_disks(sim, 4)
+        disks[2].set_slowdown("skew", 0.25)
+        raid = Raid0(sim, disks)
+        done = raid.write_all(range(64), value=1)
+        sim.run(until=done)
+        # Finish time tracks the slow disk: ~4x the healthy per-disk time.
+        healthy_time = disks[0].service_time(0, 1) + 15 * (0.5 / 5.5)
+        assert sim.now == pytest.approx(4 * healthy_time, rel=0.05)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Raid0(sim, make_disks(sim, 1))
+        with pytest.raises(ValueError):
+            Raid0(sim, make_disks(sim, 2), stripe_unit=0)
+        raid = Raid0(sim, make_disks(sim, 2))
+        with pytest.raises(ValueError):
+            raid.locate(-1)
+
+
+class TestRaid1Pair:
+    def test_write_goes_to_both(self):
+        sim = Simulator()
+        d1, d2 = make_disks(sim, 2)
+        pair = Raid1Pair(sim, d1, d2)
+        sim.run(until=pair.write(0, 1, value=5))
+        assert d1.peek(0) == 5
+        assert d2.peek(0) == 5
+        assert pair.consistent_at(0)
+
+    def test_write_time_is_max_of_members(self):
+        sim = Simulator()
+        d1, d2 = make_disks(sim, 2)
+        d2.set_slowdown("skew", 0.5)
+        pair = Raid1Pair(sim, d1, d2)
+        done = pair.write(0, 11, value=1)
+        sim.run(until=done)
+        slow_time = 2 * (d2.params.positioning_time + 1.0)
+        assert sim.now == pytest.approx(slow_time)
+
+    def test_effective_rate_is_min(self):
+        sim = Simulator()
+        d1, d2 = make_disks(sim, 2)
+        d2.set_slowdown("skew", 0.3)
+        pair = Raid1Pair(sim, d1, d2)
+        assert pair.effective_rate == pytest.approx(0.3)
+
+    def test_read_prefers_less_loaded_member(self):
+        sim = Simulator()
+        d1, d2 = make_disks(sim, 2)
+        pair = Raid1Pair(sim, d1, d2)
+        sim.run(until=pair.write(0, 1, value=9))
+        # Load up d1's queue, then read: must come from d2.
+        d1.read(100, 200)
+        d1.read(400, 200)
+        before = d2.reads
+        sim.run(until=pair.read(0, 1))
+        assert d2.reads == before + 1
+
+    def test_read_alternates_when_balanced(self):
+        sim = Simulator()
+        d1, d2 = make_disks(sim, 2)
+        pair = Raid1Pair(sim, d1, d2)
+        sim.run(until=pair.write(0, 1, value=9))
+        for __ in range(4):
+            sim.run(until=pair.read(0, 1))
+        assert d1.reads >= 1 and d2.reads >= 1
+
+    def test_survives_one_member_failure(self):
+        sim = Simulator()
+        d1, d2 = make_disks(sim, 2)
+        pair = Raid1Pair(sim, d1, d2)
+        d1.stop()
+        sim.run(until=pair.write(0, 1, value=7))
+        assert d2.peek(0) == 7
+        value = sim.run(until=pair.read(0, 1))
+        assert value == 7
+        assert not pair.failed
+
+    def test_write_retries_on_member_death_midflight(self):
+        sim = Simulator()
+        d1, d2 = make_disks(sim, 2)
+        pair = Raid1Pair(sim, d1, d2)
+        done = pair.write(0, 11, value=3)  # ~1.02s on both
+        sim.schedule(0.5, d1.stop)  # d1 dies mid-write
+        sim.run(until=done)
+        assert d2.peek(0) == 3
+
+    def test_both_members_dead_raises(self):
+        sim = Simulator()
+        d1, d2 = make_disks(sim, 2)
+        pair = Raid1Pair(sim, d1, d2)
+        d1.stop()
+        d2.stop()
+        assert pair.failed
+        assert pair.effective_rate == 0.0
+        with pytest.raises(ComponentStopped):
+            sim.run(until=pair.write(0, 1, value=1))
+
+    def test_nominal_service_time_is_max(self):
+        sim = Simulator()
+        d1, d2 = make_disks(sim, 2)
+        pair = Raid1Pair(sim, d1, d2)
+        assert pair.nominal_service_time(0, 11) == pytest.approx(1.0)
+
+
+class TestRaid10:
+    def test_from_disks_pairs_adjacent(self):
+        sim = Simulator()
+        disks = make_disks(sim, 8)
+        raid = Raid10.from_disks(sim, disks)
+        assert raid.width == 4
+        assert raid.pairs[0].primary is disks[0]
+        assert raid.pairs[0].secondary is disks[1]
+
+    def test_locate_stripes_over_pairs(self):
+        sim = Simulator()
+        raid = Raid10.from_disks(sim, make_disks(sim, 8))
+        assert raid.locate(0) == (0, 0)
+        assert raid.locate(3) == (3, 0)
+        assert raid.locate(4) == (0, 1)
+
+    def test_write_mirrors_within_pair(self):
+        sim = Simulator()
+        disks = make_disks(sim, 8)
+        raid = Raid10.from_disks(sim, disks)
+        sim.run(until=raid.write(2, value=11))
+        assert disks[4].peek(0) == 11
+        assert disks[5].peek(0) == 11
+
+    def test_read_roundtrip(self):
+        sim = Simulator()
+        raid = Raid10.from_disks(sim, make_disks(sim, 8))
+        sim.run(until=raid.write(5, value=42))
+        assert sim.run(until=raid.read(5)) == 42
+
+    def test_failed_only_when_pair_lost(self):
+        sim = Simulator()
+        disks = make_disks(sim, 8)
+        raid = Raid10.from_disks(sim, disks)
+        disks[0].stop()
+        assert not raid.failed
+        disks[1].stop()
+        assert raid.failed
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Raid10.from_disks(sim, make_disks(sim, 3))
+        with pytest.raises(ValueError):
+            Raid10.from_disks(sim, make_disks(sim, 2))
+        raid = Raid10.from_disks(sim, make_disks(sim, 4))
+        with pytest.raises(ValueError):
+            raid.locate(-2)
+
+
+class TestRaid5:
+    def test_parity_rotates(self):
+        sim = Simulator()
+        raid = Raid5(sim, make_disks(sim, 4))
+        assert raid.parity_disk_of(0) == 3
+        assert raid.parity_disk_of(1) == 2
+        assert raid.parity_disk_of(3) == 0
+        assert raid.parity_disk_of(4) == 3
+
+    def test_locate_skips_parity_member(self):
+        sim = Simulator()
+        raid = Raid5(sim, make_disks(sim, 4))
+        # Stripe 0: parity on disk 3, data on 0,1,2.
+        assert raid.locate(0) == (0, 0, 0)
+        assert raid.locate(2) == (0, 2, 0)
+        # Stripe 1: parity on disk 2, data on 0,1,3.
+        assert raid.locate(3) == (1, 0, 1)
+        assert raid.locate(5) == (1, 3, 1)
+
+    def test_small_write_maintains_parity(self):
+        sim = Simulator()
+        raid = Raid5(sim, make_disks(sim, 4))
+        sim.run(until=raid.write(0, value=0b1010))
+        sim.run(until=raid.write(1, value=0b0110))
+        assert raid.stripe_consistent(0)
+
+    def test_overwrite_maintains_parity(self):
+        sim = Simulator()
+        raid = Raid5(sim, make_disks(sim, 4))
+        sim.run(until=raid.write(0, value=7))
+        sim.run(until=raid.write(0, value=9))
+        assert raid.stripe_consistent(0)
+        assert sim.run(until=raid.read(0)) == 9
+
+    def test_full_stripe_write_consistent(self):
+        sim = Simulator()
+        raid = Raid5(sim, make_disks(sim, 4))
+        sim.run(until=raid.write_stripe(2, [1, 2, 3]))
+        assert raid.stripe_consistent(2)
+
+    def test_full_stripe_write_needs_no_reads(self):
+        sim = Simulator()
+        disks = make_disks(sim, 4)
+        raid = Raid5(sim, disks)
+        sim.run(until=raid.write_stripe(0, [1, 2, 3]))
+        assert all(d.reads == 0 for d in disks)
+
+    def test_small_write_is_four_ios(self):
+        sim = Simulator()
+        disks = make_disks(sim, 4)
+        raid = Raid5(sim, disks)
+        sim.run(until=raid.write(0, value=5))
+        assert sum(d.reads for d in disks) == 2
+        assert sum(d.writes for d in disks) == 2
+
+    def test_degraded_read_reconstructs(self):
+        sim = Simulator()
+        disks = make_disks(sim, 4)
+        raid = Raid5(sim, disks)
+        sim.run(until=raid.write_stripe(0, [10, 20, 30]))
+        __, failed_index, __ = raid.locate(1)
+        disks[failed_index].stop()
+        assert sim.run(until=raid.read(1)) == 20
+
+    def test_reconstruct_block_matches_lost_data(self):
+        sim = Simulator()
+        disks = make_disks(sim, 4)
+        raid = Raid5(sim, disks)
+        sim.run(until=raid.write_stripe(0, [10, 20, 30]))
+        lost = disks[1].peek(0)
+        disks[1].stop()
+        value = sim.run(until=raid.reconstruct_block(0, 1))
+        assert value == lost
+
+    def test_two_failures_unrecoverable(self):
+        sim = Simulator()
+        disks = make_disks(sim, 4)
+        raid = Raid5(sim, disks)
+        sim.run(until=raid.write_stripe(0, [10, 20, 30]))
+        disks[0].stop()
+        disks[1].stop()
+        with pytest.raises(ComponentStopped):
+            sim.run(until=raid.read(0))
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Raid5(sim, make_disks(sim, 2))
+        raid = Raid5(sim, make_disks(sim, 4))
+        with pytest.raises(ValueError):
+            raid.locate(-1)
+        with pytest.raises(ValueError):
+            raid.write_stripe(0, [1, 2])

@@ -1,0 +1,210 @@
+"""Unit tests for workload generators."""
+
+import random
+
+import pytest
+
+from repro.faults import Exponential, Fixed
+from repro.sim import AvailabilityMeter, Simulator
+from repro.storage import (
+    Disk,
+    DiskParams,
+    file_layout,
+    poisson_requests,
+    read_layout,
+    sequential_scan,
+    uniform_geometry,
+)
+
+PARAMS = DiskParams(rpm=5400, avg_seek=0.011, block_size_mb=0.5)
+
+
+def make_disk(sim, rate=5.5, capacity=100_000):
+    return Disk(sim, "d0", geometry=uniform_geometry(capacity, rate), params=PARAMS)
+
+
+class TestSequentialScan:
+    def test_bandwidth_close_to_zone_rate(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        result = sim.run(until=sequential_scan(sim, disk, nblocks=2000))
+        assert result.bandwidth_mb_s == pytest.approx(5.5, rel=0.01)
+
+    def test_chunking_preserves_blocks(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        result = sim.run(until=sequential_scan(sim, disk, nblocks=130, chunk=64))
+        assert result.nblocks == 130
+        assert disk.reads == 3  # 64 + 64 + 2
+
+    def test_validation(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        with pytest.raises(ValueError):
+            sequential_scan(sim, disk, nblocks=0)
+        with pytest.raises(ValueError):
+            sequential_scan(sim, disk, nblocks=10, chunk=0)
+
+
+class TestFileLayout:
+    def test_fresh_layout_is_sequential(self):
+        layout = file_layout(100, 0.0, 100_000, random.Random(0))
+        assert layout == list(range(100))
+
+    def test_fully_fragmented_layout_jumps(self):
+        layout = file_layout(100, 1.0, 100_000, random.Random(0))
+        sequential_steps = sum(
+            1 for a, b in zip(layout, layout[1:]) if b == a + 1
+        )
+        assert sequential_steps < 5
+
+    def test_deterministic_per_seed(self):
+        a = file_layout(50, 0.3, 1000, random.Random(9))
+        b = file_layout(50, 0.3, 1000, random.Random(9))
+        assert a == b
+
+    def test_addresses_in_bounds(self):
+        layout = file_layout(500, 0.5, 1000, random.Random(2))
+        assert all(0 <= lba < 1000 for lba in layout)
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            file_layout(0, 0.5, 100, rng)
+        with pytest.raises(ValueError):
+            file_layout(10, 1.5, 100, rng)
+        with pytest.raises(ValueError):
+            file_layout(200, 0.5, 100, rng)
+
+
+class TestReadLayout:
+    def test_fresh_layout_fast_fragmented_slow(self):
+        """E13 shape: aging costs up to ~2x on sequential reads."""
+        sim = Simulator()
+        disk = make_disk(sim)
+        fresh = sim.run(
+            until=read_layout(sim, disk, file_layout(1000, 0.0, 100_000, random.Random(1)))
+        )
+        sim2 = Simulator()
+        disk2 = make_disk(sim2)
+        aged = sim2.run(
+            until=read_layout(
+                sim2, disk2, file_layout(1000, 0.02, 100_000, random.Random(1))
+            )
+        )
+        assert fresh.bandwidth_mb_s > aged.bandwidth_mb_s
+
+    def test_coalesces_contiguous_runs(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        sim.run(until=read_layout(sim, disk, [0, 1, 2, 50, 51, 9]))
+        assert disk.reads == 3
+
+    def test_empty_layout_rejected(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        with pytest.raises(ValueError):
+            read_layout(sim, disk, [])
+
+
+class TestPoissonRequests:
+    def test_all_requests_recorded(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        rng = random.Random(0)
+        meter = AvailabilityMeter(slo=1.0)
+        proc = poisson_requests(
+            sim,
+            issue=lambda: disk.read(rng.randrange(100_000), 1),
+            interarrival=Exponential(0.5),
+            count=50,
+            rng=rng,
+            meter=meter,
+        )
+        result = sim.run(until=proc)
+        assert result.offered == 50
+
+    def test_healthy_disk_high_availability(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        rng = random.Random(0)
+        meter = AvailabilityMeter(slo=0.5)
+        proc = poisson_requests(
+            sim,
+            issue=lambda: disk.read(rng.randrange(100_000), 1),
+            interarrival=Fixed(0.2),  # well under capacity
+            count=100,
+            rng=rng,
+            meter=meter,
+        )
+        result = sim.run(until=proc)
+        assert result.availability() > 0.95
+
+    def test_stalled_disk_kills_availability(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        disk.set_slowdown("stall", 0.01)
+        rng = random.Random(0)
+        meter = AvailabilityMeter(slo=0.5)
+        proc = poisson_requests(
+            sim,
+            issue=lambda: disk.read(rng.randrange(100_000), 1),
+            interarrival=Fixed(0.2),
+            count=50,
+            rng=rng,
+            meter=meter,
+            deadline=60.0,
+        )
+        result = sim.run(until=proc)
+        assert result.availability() < 0.2
+
+    def test_deadline_counts_unfinished_as_unserved(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        disk.set_slowdown("stall", 0.0)  # nothing ever completes
+        rng = random.Random(0)
+        meter = AvailabilityMeter(slo=1.0)
+        proc = poisson_requests(
+            sim,
+            issue=lambda: disk.read(0, 1),
+            interarrival=Fixed(0.1),
+            count=10,
+            rng=rng,
+            meter=meter,
+            deadline=5.0,
+        )
+        result = sim.run(until=proc)
+        assert result.offered == 10
+        assert result.availability() == 0.0
+
+    def test_failing_issue_records_unserved(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        disk.stop()
+        rng = random.Random(0)
+
+        def issue():
+            return disk.read(0, 1)  # raises ComponentStopped
+
+        meter = AvailabilityMeter(slo=1.0)
+
+        def guarded():
+            try:
+                return issue()
+            except Exception:
+                ev = sim.event()
+                ev.fail(RuntimeError("request lost"))
+                return ev
+
+        proc = poisson_requests(
+            sim, guarded, Fixed(0.1), count=5, rng=rng, meter=meter
+        )
+        result = sim.run(until=proc)
+        assert result.offered == 5
+        assert result.availability() == 0.0
+
+    def test_count_validation(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        with pytest.raises(ValueError):
+            poisson_requests(sim, lambda: disk.read(0, 1), Fixed(1.0), 0, random.Random(0))

@@ -1,0 +1,45 @@
+"""Unit tests for the command-line interface and top-level API."""
+
+import pytest
+
+import repro
+from repro.__main__ import main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_convenience_exports(self):
+        assert repro.Simulator is not None
+        assert repro.PerformanceSpec(nominal_rate=1.0)
+        assert repro.FaultModel.FAIL_STUTTER.handles_performance_faults
+
+
+class TestCli:
+    def test_list_names_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ALL_EXPERIMENTS:
+            assert key in out
+
+    def test_run_one_experiment(self, capsys):
+        assert main(["run", "e02"]) == 0
+        out = capsys.readouterr().out
+        assert "RAID-0" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "e05", "a5"]) == 0
+        out = capsys.readouterr().out
+        assert "zoned-disk" in out and "spec fidelity" in out
+
+    def test_run_unknown_id_fails(self, capsys):
+        assert main(["run", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_report_contains_all_sections(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("## ") == len(ALL_EXPERIMENTS)
+        assert "Paper:" in out and "Measured:" in out

@@ -1,0 +1,34 @@
+"""Every example script must run clean (they contain their own asserts)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{script.name} failed:\n{result.stderr}"
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "adaptive_storage.py",
+        "cluster_sort.py",
+        "network_transpose.py",
+        "dht_gc.py",
+        "fault_masked_chips.py",
+    } <= names
