@@ -1,0 +1,45 @@
+"""Microbenchmarks for the discrete-event kernel hot paths.
+
+Unlike the per-experiment benchmarks (which time a whole table
+regeneration), these isolate the four kernel behaviours every experiment
+leans on: raw event churn, RateServer rate-change storms, FIFO job
+throughput, and sweep scaling.  ``scripts/perf_report.py`` times the
+same workloads standalone to emit the baseline-vs-after
+``BENCH_engine.json`` summary.
+
+Each assertion pins the workload's deterministic checksum, so a kernel
+change that silently alters scheduling order fails here before it
+corrupts an experiment table.
+"""
+
+from conftest import regenerate
+from engine_workloads import event_churn, fifo_jobs, rate_change_storm, sweep_scaling
+
+
+def test_event_churn(benchmark):
+    total = regenerate(benchmark, event_churn, rounds=10, n_procs=200, n_steps=50)
+    # 200 hoppers each end at start + 25.0 virtual seconds.
+    assert abs(total - sum(i * 0.01 + 25.0 for i in range(200))) < 1e-6
+
+
+def test_rate_change_storm(benchmark):
+    work = regenerate(benchmark, rate_change_storm, rounds=10, n_bursts=500, burst=8)
+    # All 8 jobs of n_bursts*burst work units complete.
+    assert work == 8 * 500 * 8.0
+
+
+def test_fifo_10k(benchmark):
+    total_response = regenerate(benchmark, fifo_jobs, rounds=5, n_jobs=10_000)
+    assert total_response > 0
+
+
+def test_sweep_scaling_serial(benchmark):
+    total = regenerate(benchmark, sweep_scaling, rounds=5, n_points=24, n_jobs=400)
+    assert total > 0
+
+
+def test_sweep_scaling_matches_parallel():
+    """parallel_sweep returns bit-identical results to the serial sweep."""
+    assert sweep_scaling(n_points=6, n_jobs=100, workers=2) == sweep_scaling(
+        n_points=6, n_jobs=100
+    )

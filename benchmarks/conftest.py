@@ -1,15 +1,25 @@
 """Shared configuration for the benchmark harness.
 
-Every benchmark regenerates one experiment table from DESIGN.md's index
-(``pytest benchmarks/ --benchmark-only``).  The benchmark value is the
-wall-clock cost of regenerating that experiment; the *content* of the
-table is asserted inside each benchmark so a regression in the paper
-shape fails the run even when timing is fine.
+Every experiment benchmark regenerates one experiment table from
+DESIGN.md's index (``pytest benchmarks/ --benchmark-only``).  The
+benchmark value is the wall-clock cost of regenerating that experiment;
+the *content* of the table is asserted inside each benchmark so a
+regression in the paper shape fails the run even when timing is fine.
+``bench_engine.py`` additionally microbenchmarks the simulation kernel
+itself.
 """
 
 import pytest
 
 
-def regenerate(benchmark, runner, **params):
-    """Benchmark one experiment runner and return its table."""
-    return benchmark.pedantic(lambda: runner(**params), iterations=1, rounds=3)
+def regenerate(benchmark, runner, *, iterations=1, rounds=3, **params):
+    """Benchmark one runner and return its result.
+
+    ``iterations`` and ``rounds`` pass straight through to
+    ``benchmark.pedantic`` so microbenchmarks can use many more rounds
+    than the (much slower) experiment-table regenerations, which keep
+    the historical default of 3 rounds x 1 iteration.
+    """
+    return benchmark.pedantic(
+        lambda: runner(**params), iterations=iterations, rounds=rounds
+    )

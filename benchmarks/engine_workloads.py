@@ -1,0 +1,137 @@
+"""Kernel microbenchmark workloads shared by the benchmark suites.
+
+Each workload exercises one hot path of :mod:`repro.sim` through its
+*public* API only, so the same workload can be timed against any version
+of the kernel (``scripts/perf_report.py`` uses this to produce
+baseline-vs-after comparisons, and ``bench_engine.py`` wraps the same
+functions in pytest-benchmark).
+
+Every workload returns a small checksum-style result so callers can
+assert the work actually happened (and happened deterministically)
+rather than being optimised away.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.analysis.sweep import sweep
+from repro.sim.engine import Simulator
+from repro.sim.resources import RateServer
+
+__all__ = [
+    "event_churn",
+    "rate_change_storm",
+    "fifo_jobs",
+    "sweep_point",
+    "sweep_scaling",
+    "e01_table_digest",
+    "WORKLOADS",
+]
+
+
+def event_churn(n_procs: int = 200, n_steps: int = 50) -> float:
+    """Many short-lived processes each yielding a chain of timeouts."""
+    sim = Simulator()
+    total = 0.0
+
+    def hopper(start: float):
+        t = start
+        for _ in range(n_steps):
+            yield sim.timeout(0.5)
+            t += 0.5
+        return t
+
+    procs = [sim.process(hopper(i * 0.01)) for i in range(n_procs)]
+    sim.run()
+    for p in procs:
+        total += p.value
+    return total
+
+
+def rate_change_storm(n_bursts: int = 500, burst: int = 8, n_jobs: int = 8) -> float:
+    """A few large in-flight jobs hammered by a storm of rate changes.
+
+    This is the RateServer worst case: every ``set_rate`` must reschedule
+    the in-flight job's completion.  The pre-optimisation kernel spawned a
+    full generator process per reschedule and left a stale ghost timer in
+    the heap; the fast path cancels and re-arms a single callback timer.
+    Several rate changes land at each instant (a burst), as happens when a
+    fault injector perturbs a shared chain of components at once.
+    """
+    sim = Simulator()
+    server = RateServer(sim, rate=1.0, name="storm")
+    total_work = float(n_bursts * burst)
+    done = [server.submit(total_work) for _ in range(n_jobs)]
+
+    def storm():
+        for i in range(n_bursts):
+            for j in range(burst):
+                server.set_rate(1.0 + ((i + j) & 3))
+            yield sim.timeout(0.25)
+
+    sim.process(storm())
+    sim.run()
+    assert all(ev.triggered for ev in done)
+    return server.work_completed
+
+
+def fifo_jobs(n_jobs: int = 10_000) -> float:
+    """10k-job FIFO drain: pure submit/complete churn, no rate changes."""
+    sim = Simulator()
+    server = RateServer(sim, rate=100.0, name="fifo")
+    events = [server.submit(1.0 + (i % 7) * 0.25) for i in range(n_jobs)]
+    sim.run()
+    assert server.jobs_completed == n_jobs
+    return sum(ev.value.response_time for ev in events)
+
+
+def sweep_point(n_jobs: int) -> float:
+    """One sweep point: a small self-contained RateServer simulation."""
+    sim = Simulator()
+    server = RateServer(sim, rate=10.0, name="pt")
+    events = [server.submit(1.0 + (i % 3)) for i in range(n_jobs)]
+    sim.schedule(1.0, server.set_rate, 5.0)
+    sim.schedule(3.0, server.set_rate, 10.0)
+    sim.run()
+    return sum(ev.value.response_time for ev in events)
+
+
+def sweep_scaling(n_points: int = 24, n_jobs: int = 400, workers: int | None = None) -> float:
+    """A sweep of independent simulation points (serial or parallel).
+
+    With ``workers=None`` this uses the plain serial :func:`sweep`; when
+    the parallel runner is available (post-optimisation kernels) a worker
+    count routes through :func:`repro.analysis.parallel.parallel_sweep`.
+    """
+    points = [n_jobs + i for i in range(n_points)]
+    if workers:
+        from repro.analysis.parallel import parallel_sweep
+
+        results = parallel_sweep(points, sweep_point, workers=workers)
+    else:
+        results = sweep(points, sweep_point)
+    return sum(value for _, value in results)
+
+
+def e01_table_digest(n_blocks: int = 400) -> str:
+    """Wall-clock proxy for a full experiment: regenerate the E1 table.
+
+    Returns the SHA-256 of the rendered table, so a baseline-vs-after
+    report shows at a glance that the optimised kernel produced a
+    byte-identical table (same seed, same digest) while the timing moved.
+    """
+    from repro.experiments import e01_raid10
+
+    rendered = e01_raid10.run(n_blocks=n_blocks).render()
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+
+#: name -> (callable, kwargs) registry used by the perf report script.
+WORKLOADS = {
+    "event_churn": (event_churn, {}),
+    "rate_change_storm": (rate_change_storm, {}),
+    "fifo_10k": (fifo_jobs, {}),
+    "sweep_scaling": (sweep_scaling, {}),
+    "e01_raid10": (e01_table_digest, {}),
+}

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Time the kernel microbenchmarks and emit a baseline-vs-after report.
+
+Usage (from the repo root)::
+
+    # Record a baseline with the current kernel:
+    PYTHONPATH=src python scripts/perf_report.py --save baseline.json
+
+    # Or record a baseline against an older kernel revision:
+    git worktree add /tmp/oldrepo <rev>
+    python scripts/perf_report.py --kernel-src /tmp/oldrepo/src --save baseline.json
+
+    # After optimising, compare and write the summary:
+    PYTHONPATH=src python scripts/perf_report.py \
+        --baseline baseline.json --out BENCH_engine.json
+
+    # Smoke mode (CI): run every workload once, no timing claims:
+    PYTHONPATH=src python scripts/perf_report.py --smoke
+
+Each workload is timed as best-of-``--repeats`` wall clock, which is the
+standard way to reduce scheduler noise for sub-second microbenchmarks.
+The emitted JSON records per-workload baseline/after seconds and the
+speedup ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def time_workload(fn, kwargs, repeats: int) -> dict:
+    """Best-of-N wall-clock seconds plus the workload's checksum."""
+    best = float("inf")
+    checksum = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        checksum = fn(**kwargs)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return {"seconds": best, "checksum": checksum}
+
+
+def run_all(workloads: dict, repeats: int) -> dict:
+    results = {}
+    for name, (fn, kwargs) in workloads.items():
+        results[name] = time_workload(fn, kwargs, repeats)
+        print(f"  {name:20s} {results[name]['seconds'] * 1e3:9.2f} ms")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--save", metavar="PATH", help="write raw timings to PATH")
+    parser.add_argument("--baseline", metavar="PATH", help="baseline timings to compare against")
+    parser.add_argument("--out", metavar="PATH", default="BENCH_engine.json",
+                        help="comparison report path (with --baseline)")
+    parser.add_argument("--repeats", type=int, default=5, help="best-of-N timing repeats")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run each workload once with no timing output (CI rot check)")
+    parser.add_argument("--kernel-src", metavar="PATH", default=str(REPO_ROOT / "src"),
+                        help="src/ tree whose kernel to import (e.g. a `git worktree` "
+                             "of the pre-optimisation revision, to record a baseline)")
+    args = parser.parse_args(argv)
+
+    if not Path(args.kernel_src, "repro").is_dir():
+        parser.error(f"--kernel-src {args.kernel_src}: no repro package found there")
+    if args.baseline and not Path(args.baseline).is_file():
+        parser.error(f"--baseline {args.baseline}: file not found")
+
+    for entry in (args.kernel_src, str(REPO_ROOT / "benchmarks")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    from engine_workloads import WORKLOADS
+
+    if args.smoke:
+        for name, (fn, kwargs) in WORKLOADS.items():
+            fn(**kwargs)
+            print(f"  {name}: ok")
+        return 0
+
+    print(f"timing {len(WORKLOADS)} workloads (best of {args.repeats}):")
+    results = run_all(WORKLOADS, args.repeats)
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": args.repeats,
+        "results": results,
+    }
+
+    if args.save:
+        Path(args.save).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.save}")
+        return 0
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        report = {
+            "python": payload["python"],
+            "platform": payload["platform"],
+            "repeats": args.repeats,
+            "workloads": {},
+        }
+        for name, after in results.items():
+            base = baseline["results"].get(name)
+            entry = {"after_seconds": after["seconds"], "checksum": after["checksum"]}
+            if base is not None:
+                entry["baseline_seconds"] = base["seconds"]
+                entry["speedup"] = base["seconds"] / after["seconds"] if after["seconds"] else float("inf")
+            report["workloads"][name] = entry
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+        for name, entry in report["workloads"].items():
+            if "speedup" in entry:
+                print(f"  {name:20s} {entry['speedup']:6.2f}x")
+        return 0
+
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,7 @@
 """Measurement and reporting utilities for experiments."""
 
 from .availability import availability_curve, unavailability_nines
+from .parallel import parallel_sweep
 from .report import Table
 from .stats import Summary, confidence_interval, geometric_mean, ratio, summarize
 from .sweep import cross, sweep
@@ -13,6 +14,7 @@ __all__ = [
     "geometric_mean",
     "ratio",
     "sweep",
+    "parallel_sweep",
     "cross",
     "availability_curve",
     "unavailability_nines",

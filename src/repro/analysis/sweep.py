@@ -1,4 +1,9 @@
-"""Parameter sweeps: run one experiment body across a parameter range."""
+"""Parameter sweeps: run one experiment body across a parameter range.
+
+These are the serial primitives; for multi-core machines,
+:func:`repro.analysis.parallel.parallel_sweep` runs the same shape of
+sweep across a process pool with identical result ordering.
+"""
 
 from __future__ import annotations
 

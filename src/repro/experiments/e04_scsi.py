@@ -14,7 +14,10 @@ chain.
 from __future__ import annotations
 
 import random
+from functools import partial
+from typing import Optional
 
+from ..analysis.parallel import parallel_sweep
 from ..analysis.report import Table
 from ..faults.distributions import Exponential, Fixed
 from ..sim.engine import Simulator
@@ -36,14 +39,41 @@ def _chain(sim: Simulator, n_disks: int):
     ]
 
 
+def _scan_bandwidth(
+    with_resets: bool, n_disks: int, reset_seconds: float, seed: int
+) -> float:
+    """Part (b) sweep point: streaming-scan bandwidth on a quiet or
+    resetting chain.  Module-level (picklable) and independently seeded,
+    so the two points can run in parallel workers."""
+    sim = Simulator()
+    disks = _chain(sim, n_disks)
+    if with_resets:
+        bus = ScsiBus(
+            sim,
+            disks,
+            error_interarrival=Exponential(20.0),  # accelerated cadence
+            reset_duration=Fixed(reset_seconds),
+            mix=TALAGALA_MIX,
+            rng=random.Random(seed),
+        )
+        bus.start()
+    result = sim.run(until=sequential_scan(sim, disks[0], nblocks=4000, chunk=64))
+    return result.bandwidth_mb_s
+
+
 def run(
     n_disks: int = 8,
     days: float = 30.0,
     errors_per_day: float = 2.0,
     reset_seconds: float = 2.0,
     seed: int = 7,
+    workers: Optional[int] = None,
 ) -> Table:
-    """Regenerate the E4 table: error accounting plus reset impact."""
+    """Regenerate the E4 table: error accounting plus reset impact.
+
+    The part-(b) scan points are independent simulations; ``workers``
+    runs them through a process pool (``None`` = serial, same output).
+    """
     # Part (a): accounting over a long window.
     sim = Simulator()
     disks = _chain(sim, n_disks)
@@ -60,24 +90,12 @@ def run(
     observed_per_day = len(bus.errors) / days
 
     # Part (b): scan bandwidth with a fast reset cadence to expose impact.
-    def scan_bandwidth(with_resets: bool) -> float:
-        sim2 = Simulator()
-        disks2 = _chain(sim2, n_disks)
-        if with_resets:
-            bus2 = ScsiBus(
-                sim2,
-                disks2,
-                error_interarrival=Exponential(20.0),  # accelerated cadence
-                reset_duration=Fixed(reset_seconds),
-                mix=TALAGALA_MIX,
-                rng=random.Random(seed),
-            )
-            bus2.start()
-        result = sim2.run(until=sequential_scan(sim2, disks2[0], nblocks=4000, chunk=64))
-        return result.bandwidth_mb_s
-
-    clean = scan_bandwidth(False)
-    noisy = scan_bandwidth(True)
+    scan_fn = partial(
+        _scan_bandwidth, n_disks=n_disks, reset_seconds=reset_seconds, seed=seed
+    )
+    scans = dict(parallel_sweep([False, True], scan_fn, workers=workers))
+    clean = scans[False]
+    noisy = scans[True]
 
     table = Table(
         f"E4: SCSI chain errors over {days:.0f} simulated days ({n_disks}-disk chain)",

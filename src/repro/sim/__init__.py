@@ -9,6 +9,7 @@ The kernel (:mod:`repro.sim.engine`), shared resources
 from .engine import (
     AllOf,
     AnyOf,
+    Callback,
     Event,
     Interrupt,
     Process,
@@ -31,6 +32,7 @@ __all__ = [
     "Simulator",
     "Event",
     "Timeout",
+    "Callback",
     "Process",
     "AllOf",
     "AnyOf",

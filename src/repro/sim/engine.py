@@ -7,6 +7,7 @@ discrete-event kernel in the style of SimPy:
 * :class:`Simulator` -- the event loop and virtual clock.
 * :class:`Event` -- a one-shot occurrence that carries a value or an error.
 * :class:`Timeout` -- an event that fires after a virtual delay.
+* :class:`Callback` -- a cancellable timer that calls a plain function.
 * :class:`Process` -- a generator coroutine driven by the events it yields.
 * :class:`AllOf` / :class:`AnyOf` -- event combinators.
 * :class:`Interrupt` -- the exception thrown into an interrupted process.
@@ -16,16 +17,25 @@ against each other under identical fault schedules, so two runs with the
 same seed must produce byte-identical traces.  The engine guarantees a
 total order on event execution via a monotonically increasing sequence
 number used as the final heap tie-breaker.
+
+Performance matters too: every experiment and ablation runs on this
+loop, so the hot path (:meth:`Simulator.run`, :meth:`Process._resume`)
+avoids attribute lookups and re-wrapping.  Cancellation is *lazy*: a
+cancelled :class:`Timeout`/:class:`Callback` stays in the heap and is
+skipped for free when popped (its ``callbacks`` slot is ``None``),
+rather than paying O(n) heap surgery up front.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Any, Callable as _CallableT, Generator, Iterable, Optional
 
 __all__ = [
     "Event",
     "Timeout",
+    "Callback",
     "Process",
     "AllOf",
     "AnyOf",
@@ -84,7 +94,8 @@ class Event:
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         #: Callables invoked with this event when it is processed.  Set to
-        #: ``None`` after processing (appending then is an error).
+        #: ``None`` after processing (appending then is an error) and on
+        #: cancellation (so the scheduler skips the entry for free).
         self.callbacks: Optional[list] = []
         self._value: Any = Event._PENDING
         self._ok: Optional[bool] = None
@@ -116,11 +127,13 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._enqueue(self, PRIORITY_NORMAL, 0.0)
+        sim = self.sim
+        sim._seq += 1
+        _heappush(sim._queue, (sim._now, PRIORITY_NORMAL, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -133,7 +146,7 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
@@ -148,18 +161,72 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` units of virtual time in the future."""
+    """An event that fires ``delay`` units of virtual time in the future.
 
-    __slots__ = ("delay",)
+    Supports :meth:`cancel`: a cancelled timeout never runs its callbacks
+    and is skipped lazily when the scheduler pops it off the heap.
+    """
+
+    __slots__ = ("delay", "_cancelled")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        super().__init__(sim)
+        # Inlined Event.__init__ plus enqueue: timeouts are the single
+        # most-constructed object in a simulation, so skip the redundant
+        # pending-state stores and the two call frames.
+        self.sim = sim
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
+        self._cancelled = False
         self._ok = True
         self._value = value
-        sim._enqueue(self, PRIORITY_NORMAL, delay)
+        sim._seq += 1
+        _heappush(sim._queue, (sim._now + delay, PRIORITY_NORMAL, sim._seq, self))
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Revoke the timeout before it fires.
+
+        The heap entry is left in place and skipped for free when popped
+        (lazy deletion).  Cancelling twice is a no-op; cancelling after
+        the timeout already fired is an error.  Do not cancel a timeout a
+        process is currently waiting on -- that process would never be
+        resumed; cancellation is for fire-and-forget timers.
+        """
+        if self._cancelled:
+            return
+        if self.callbacks is None:
+            raise SimulationError(f"cannot cancel already-fired {self!r}")
+        self._cancelled = True
+        self.callbacks = None
+
+
+class Callback(Timeout):
+    """A lightweight cancellable timer that invokes ``fn(*args)``.
+
+    Created via :meth:`Simulator.call_later` / :meth:`Simulator.call_at`.
+    Unlike wrapping the call in a :class:`Process`, this costs one heap
+    entry and no generator frame -- it is the fast path for components
+    (e.g. :class:`~repro.sim.resources.RateServer`) that need to arm and
+    re-arm completion timers at high frequency.
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(self, sim: "Simulator", delay: float, fn: _CallableT, args: tuple):
+        super().__init__(sim, delay)
+        self._fn = fn
+        self._args = args
+        self.callbacks.append(self._run)
+
+    def _run(self, _event: Event) -> None:
+        self._fn(*self._args)
 
 
 class _Initialize(Event):
@@ -234,13 +301,15 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
         self._target = None
+        generator = self._generator
+        send = generator.send
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -253,16 +322,17 @@ class Process(Event):
                     f"process yielded non-event {next_event!r}; yield Event/Timeout/Process"
                 )
                 try:
-                    self._generator.throw(error)
+                    generator.throw(error)
                 except StopIteration as stop:
                     self.succeed(stop.value)
                 except BaseException as exc:
                     self.fail(exc)
                 return
 
-            if next_event.callbacks is not None:
+            callbacks = next_event.callbacks
+            if callbacks is not None:
                 # Not yet processed: park until it fires.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = next_event
                 return
             # Already processed: feed its outcome straight back in.
@@ -389,37 +459,84 @@ class Simulator:
         """Wait for the first event in ``events``."""
         return AnyOf(self, events)
 
-    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
-        """Call ``fn(*args)`` after ``delay``; returns the firing event."""
+    def call_later(self, delay: float, fn: _CallableT, *args: Any) -> Callback:
+        """Call ``fn(*args)`` after ``delay``; returns a cancellable timer.
+
+        This is the lightweight fast path for fire-and-forget callbacks:
+        no generator frame, no urgent kick-start event -- one heap entry.
+        Use :meth:`schedule` instead when you need the call's return
+        value as an event.
+        """
+        return Callback(self, delay, fn, args)
+
+    def call_at(self, when: float, fn: _CallableT, *args: Any) -> Callback:
+        """Call ``fn(*args)`` at absolute virtual time ``when``."""
+        delay = when - self._now
+        if delay < 0:
+            raise SimulationError(f"call_at({when}) is in the past (now={self._now})")
+        return Callback(self, delay, fn, args)
+
+    def schedule(self, delay: float, fn: _CallableT, *args: Any) -> Event:
+        """Call ``fn(*args)`` after ``delay``; returns the firing event.
+
+        The event succeeds with the call's return value (or fails with
+        its exception, which surfaces out of :meth:`run` unless a waiter
+        defuses it).  Implemented on the :class:`Callback` fast path
+        rather than spawning a generator process per call.
+        """
+        event = Event(self)
 
         def runner():
-            yield self.timeout(delay)
-            return fn(*args)
+            try:
+                event.succeed(fn(*args))
+            except BaseException as exc:
+                event.fail(exc)
 
-        return self.process(runner())
+        Callback(self, delay, runner, ())
+        return event
 
     # -- the loop -----------------------------------------------------------
 
     def _enqueue(self, event: Event, priority: int, delay: float) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        _heappush(self._queue, (self._now + delay, priority, self._seq, event))
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next live event, or ``inf`` if none.
+
+        Defunct (cancelled) entries at the head of the heap are dropped
+        here so the reported time is that of an event that will really
+        run.
+        """
+        queue = self._queue
+        while queue:
+            if queue[0][3].callbacks is None:
+                heapq.heappop(queue)
+                continue
+            return queue[0][0]
+        return float("inf")
 
     def step(self) -> None:
-        """Process exactly one event.  Raises IndexError if queue empty."""
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:
-            raise SimulationError("time went backwards; corrupted queue")
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not event._defused:
-            # Nothing took responsibility for the failure: surface it.
-            raise event._value
+        """Process exactly one live event.  Raises IndexError if queue empty.
+
+        Cancelled entries are skipped without advancing the clock.
+        """
+        queue = self._queue
+        while True:
+            when, _prio, _seq, event = heapq.heappop(queue)
+            callbacks = event.callbacks
+            if callbacks is None:
+                continue  # defunct (cancelled) entry: lazy skip
+            if when < self._now:
+                raise SimulationError("time went backwards; corrupted queue")
+            self._now = when
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                # Nothing took responsibility for the failure: surface it.
+                raise event._value
+            return
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -449,9 +566,24 @@ class Simulator:
         else:
             raise SimulationError(f"bad until={until!r}")
 
+        # Hot loop: step() inlined with the heap, pop and clock bound to
+        # locals.  Keep in sync with step() above.
+        queue = self._queue
+        pop = _heappop
         try:
-            while self._queue and self._queue[0][0] <= stop_at:
-                self.step()
+            while queue and queue[0][0] <= stop_at:
+                when, _prio, _seq, event = pop(queue)
+                callbacks = event.callbacks
+                if callbacks is None:
+                    continue  # defunct (cancelled) entry: lazy skip
+                if when < self._now:
+                    raise SimulationError("time went backwards; corrupted queue")
+                self._now = when
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
         except StopSimulation as stop:
             ev: Event = stop.value
             if not ev._ok:

@@ -81,17 +81,32 @@ class LatencySummary:
 
 
 class LatencyRecorder:
-    """Collects per-request latencies and summarises them."""
+    """Collects per-request latencies and summarises them.
+
+    The sorted view needed by :meth:`quantile` / :meth:`summary` is
+    cached and invalidated on :meth:`record`, so repeated summary calls
+    over a stable sample set cost O(1) instead of re-sorting each time.
+    (Mutate samples through :meth:`record` only; writing to ``samples``
+    directly bypasses the cache invalidation.)
+    """
 
     def __init__(self, name: str = "latency"):
         self.name = name
         self.samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
 
     def record(self, latency: float) -> None:
         """Record one request latency."""
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
         self.samples.append(latency)
+        self._sorted = None
+
+    def _ordered(self) -> List[float]:
+        """The cached sorted view of the samples."""
+        if self._sorted is None or len(self._sorted) != len(self.samples):
+            self._sorted = sorted(self.samples)
+        return self._sorted
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -113,13 +128,13 @@ class LatencyRecorder:
         """The q-quantile (q in [0, 1]) of recorded latencies."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
-        return self._quantile(sorted(self.samples), q)
+        return self._quantile(self._ordered(), q)
 
     def summary(self) -> LatencySummary:
         """Full summary of the recorded latencies."""
         if not self.samples:
             return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        ordered = sorted(self.samples)
+        ordered = self._ordered()
         n = len(ordered)
         mean = sum(ordered) / n
         var = sum((x - mean) ** 2 for x in ordered) / n

@@ -20,7 +20,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Optional
 
-from .engine import Event, SimulationError, Simulator
+from .engine import Callback, Event, SimulationError, Simulator
 
 __all__ = ["Resource", "Store", "RateServer", "JobStats"]
 
@@ -193,7 +193,12 @@ class RateServer:
         self._queue: Deque[_Job] = deque()
         self._current: Optional[_Job] = None
         self._last_update = sim.now
-        self._token = 0
+        #: Cancellable completion timer for the in-flight job (None while
+        #: idle or frozen at rate 0).  Exactly one live timer exists at a
+        #: time; a rate change cancels and re-arms it instead of leaving a
+        #: stale ghost entry in the heap.
+        self._timer: Optional[Callback] = None
+        self._drain_waiters: list = []
         # Metrics.
         self.jobs_completed = 0
         self.work_completed = 0.0
@@ -240,23 +245,16 @@ class RateServer:
     def drain(self) -> Event:
         """Event that fires when the server next becomes idle.
 
-        Fires immediately if the server is already idle.
+        Fires immediately if the server is already idle.  Waiters are
+        woken event-driven at the idle transition -- there is no polling
+        process behind this (the old implementation spun on zero-length
+        timeouts in a corner case).
         """
         event = self.sim.event()
         if self._current is None and not self._queue:
             event.succeed(None)
-            return event
-
-        def watch():
-            while self._current is not None or self._queue:
-                current = self._current
-                if current is not None:
-                    yield self.sim.any_of([current.event])
-                else:  # queued but not started: should not persist; yield a beat
-                    yield self.sim.timeout(0)
-            event.succeed(None)
-
-        self.sim.process(watch())
+        else:
+            self._drain_waiters.append(event)
         return event
 
     # -- internals -----------------------------------------------------------
@@ -280,26 +278,23 @@ class RateServer:
         self._schedule_completion()
 
     def _schedule_completion(self) -> None:
-        self._token += 1
-        token = self._token
+        timer = self._timer
+        if timer is not None:
+            timer.cancel()
+            self._timer = None
         if self._rate <= 0:
             return  # frozen: completion rescheduled when rate rises
         eta = self._current.remaining / self._rate
+        self._timer = self.sim.call_later(eta, self._complete)
 
-        def check():
-            yield self.sim.timeout(eta)
-            self._maybe_complete(token)
-
-        self.sim.process(check())
-
-    def _maybe_complete(self, token: int) -> None:
-        if token != self._token or self._current is None:
-            return  # stale completion from before a rate change
+    def _complete(self) -> None:
+        self._timer = None
         self._accrue()
-        if self._current.remaining > _EPSILON:
+        job = self._current
+        if job.remaining > _EPSILON:
+            # Floating-point residue from accrual: finish it off.
             self._schedule_completion()
             return
-        job = self._current
         self._current = None
         job.stats.completed_at = self.sim.now
         self.jobs_completed += 1
@@ -307,9 +302,15 @@ class RateServer:
         job.event.succeed(job.stats)
         if self._queue:
             self._start_next()
-        elif self._busy_since is not None:
-            self.busy_time += self.sim.now - self._busy_since
-            self._busy_since = None
+        else:
+            if self._busy_since is not None:
+                self.busy_time += self.sim.now - self._busy_since
+                self._busy_since = None
+            if self._drain_waiters:
+                waiters = self._drain_waiters
+                self._drain_waiters = []
+                for waiter in waiters:
+                    waiter.succeed(None)
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
         """Fraction of time busy since t=0 (or over ``elapsed``)."""

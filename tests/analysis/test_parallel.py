@@ -1,0 +1,71 @@
+"""Tests for the parallel sweep runner."""
+
+import pytest
+
+from repro.analysis.parallel import parallel_sweep
+from repro.analysis.sweep import sweep
+from repro.sim import RateServer, Simulator
+from repro.sim.random import derive_seed
+
+
+def _square(x):
+    return x * x
+
+
+def _simulate_point(n_jobs):
+    """An independent, deterministically seeded simulation per point."""
+    seed = derive_seed(42, f"point/{n_jobs}")
+    sim = Simulator()
+    server = RateServer(sim, rate=10.0)
+    events = [server.submit(1.0 + (seed + i) % 5) for i in range(n_jobs)]
+    sim.run()
+    return sum(ev.value.response_time for ev in events)
+
+
+class TestParallelSweep:
+    def test_serial_default_matches_sweep(self):
+        values = [1, 2, 3, 4]
+        assert parallel_sweep(values, _square) == sweep(values, _square)
+
+    def test_workers_one_and_zero_are_serial(self):
+        values = [3, 1, 2]
+        expected = sweep(values, _square)
+        assert parallel_sweep(values, _square, workers=1) == expected
+        assert parallel_sweep(values, _square, workers=0) == expected
+
+    def test_parallel_preserves_input_order(self):
+        values = [5, 3, 8, 1, 9, 2]
+        result = parallel_sweep(values, _square, workers=2)
+        assert [v for v, _ in result] == values
+        assert [r for _, r in result] == [v * v for v in values]
+
+    def test_parallel_matches_serial_on_simulations(self):
+        """Per-point seeded simulations are identical at any worker count."""
+        points = [10, 20, 30, 40]
+        serial = parallel_sweep(points, _simulate_point)
+        parallel = parallel_sweep(points, _simulate_point, workers=2)
+        assert serial == parallel
+
+    def test_more_workers_than_points_is_harmless(self):
+        assert parallel_sweep([7], _square, workers=8) == [(7, 49)]
+        assert parallel_sweep([2, 3], _square, workers=16) == [(2, 4), (3, 9)]
+
+    def test_empty_values(self):
+        assert parallel_sweep([], _square, workers=4) == []
+
+
+class TestExperimentWorkersKnob:
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_e22_river_table_stable_across_workers(self, workers):
+        from repro.experiments import e22_river
+
+        table = e22_river.run(factors=(1.0, 0.5), n_records=40, workers=workers)
+        assert len(table) == 2
+
+    def test_e14_serial_equals_parallel(self):
+        from repro.experiments import e14_availability
+
+        kwargs = dict(n_requests=60, n_servers=2)
+        serial = e14_availability.run(**kwargs).render()
+        parallel = e14_availability.run(workers=2, **kwargs).render()
+        assert serial == parallel

@@ -428,3 +428,114 @@ class TestSchedule:
         assert sim.peek() == float("inf")
         sim.timeout(7.0)
         assert sim.peek() == 7.0
+
+
+class TestCallbackTimers:
+    def test_call_later_fires_in_time_order(self):
+        sim = Simulator()
+        calls = []
+        sim.call_later(2.0, calls.append, "b")
+        sim.call_later(1.0, calls.append, "a")
+        sim.call_later(3.0, calls.append, "c")
+        sim.run()
+        assert calls == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_call_at_fires_at_absolute_time(self):
+        sim = Simulator()
+        calls = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            sim.call_at(4.0, lambda: calls.append(sim.now))
+
+        sim.process(proc())
+        sim.run()
+        assert calls == [4.0]
+
+    def test_call_at_in_past_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(2.0)
+            sim.call_at(1.0, lambda: None)
+
+        p = sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run(until=p)
+
+    def test_cancelled_callback_never_runs(self):
+        sim = Simulator()
+        calls = []
+        keep = sim.call_later(1.0, calls.append, "keep")
+        drop = sim.call_later(1.0, calls.append, "drop")
+        drop.cancel()
+        sim.run()
+        assert calls == ["keep"]
+        assert drop.cancelled and not keep.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        timer = sim.call_later(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()  # no-op, no error
+        sim.run()
+
+    def test_cancel_after_fired_is_error(self):
+        sim = Simulator()
+        timer = sim.call_later(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            timer.cancel()
+
+    def test_timeout_cancel_skipped_lazily(self):
+        sim = Simulator()
+        doomed = sim.timeout(5.0)
+        sim.call_later(1.0, lambda: None)
+        doomed.cancel()
+        sim.run()
+        # The cancelled timeout neither fires nor advances the clock.
+        assert sim.now == 1.0
+
+    def test_peek_skips_defunct_entries(self):
+        sim = Simulator()
+        doomed = sim.timeout(1.0)
+        sim.timeout(2.0)
+        doomed.cancel()
+        assert sim.peek() == 2.0
+
+    def test_step_skips_defunct_entries_without_advancing_clock(self):
+        sim = Simulator()
+        doomed = sim.call_later(1.0, lambda: None)
+        calls = []
+        sim.call_later(2.0, calls.append, "live")
+        doomed.cancel()
+        sim.step()  # skips the defunct entry and processes the live one
+        assert sim.now == 2.0 and calls == ["live"]
+
+    def test_schedule_failure_surfaces_from_run(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("kaboom")
+
+        sim.schedule(1.0, boom)
+        with pytest.raises(RuntimeError, match="kaboom"):
+            sim.run()
+
+    def test_schedule_failure_caught_by_waiter(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("kaboom")
+
+        ev = sim.schedule(1.0, boom)
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return str(exc)
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == "kaboom"

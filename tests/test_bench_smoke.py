@@ -1,0 +1,49 @@
+"""Smoke target for the benchmark suite.
+
+Benchmarks only run when someone asks for timings, so without this they
+could silently rot (import errors, renamed experiment kwargs, stale
+assertions).  This target runs every benchmark exactly once with timing
+disabled, and runs ``scripts/perf_report.py --smoke``, inside the
+ordinary test flow.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run(cmd):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    return subprocess.run(
+        cmd, cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=600
+    )
+
+
+def test_benchmarks_run_once_without_timing():
+    """Every bench_*.py runs once (--benchmark-disable: no timing claims)."""
+    result = _run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks",
+            "-q",
+            "--benchmark-disable",
+            "-p",
+            "no:cacheprovider",
+        ]
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_perf_report_smoke_mode():
+    """The perf report script's workloads all execute."""
+    result = _run([sys.executable, "scripts/perf_report.py", "--smoke"])
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "rate_change_storm: ok" in result.stdout
