@@ -13,8 +13,6 @@ rather than being optimised away.
 
 from __future__ import annotations
 
-import hashlib
-
 from repro.analysis.sweep import sweep
 from repro.sim.engine import Simulator
 from repro.sim.resources import RateServer
@@ -117,14 +115,14 @@ def sweep_scaling(n_points: int = 24, n_jobs: int = 400, workers: int | None = N
 def e01_table_digest(n_blocks: int = 400) -> str:
     """Wall-clock proxy for a full experiment: regenerate the E1 table.
 
-    Returns the SHA-256 of the rendered table, so a baseline-vs-after
-    report shows at a glance that the optimised kernel produced a
-    byte-identical table (same seed, same digest) while the timing moved.
+    Returns :meth:`Table.digest` (SHA-256 over the canonical serialized
+    table, full precision -- the same identity the result cache uses),
+    so a baseline-vs-after report shows at a glance that the optimised
+    kernel produced an identical table while the timing moved.
     """
     from repro.experiments import e01_raid10
 
-    rendered = e01_raid10.run(n_blocks=n_blocks).render()
-    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+    return e01_raid10.run(n_blocks=n_blocks).digest()
 
 
 #: name -> (callable, kwargs) registry used by the perf report script.

@@ -1,9 +1,17 @@
 #!/usr/bin/env python
-"""Time the kernel microbenchmarks and emit a baseline-vs-after report.
+"""Time the benchmark suites and emit JSON reports.
+
+Two suites, selected with ``--suite``:
+
+* ``engine`` (default) -- the kernel microbenchmarks, timed as
+  baseline-vs-after (``BENCH_engine.json``);
+* ``report`` -- the full EXPERIMENTS.md regeneration through the cached
+  parallel runner: cold serial, cold parallel, and warm-cache passes,
+  with a byte-identical cross-check (``BENCH_report.json``).
 
 Usage (from the repo root)::
 
-    # Record a baseline with the current kernel:
+    # Record an engine baseline with the current kernel:
     PYTHONPATH=src python scripts/perf_report.py --save baseline.json
 
     # Or record a baseline against an older kernel revision:
@@ -14,13 +22,16 @@ Usage (from the repo root)::
     PYTHONPATH=src python scripts/perf_report.py \
         --baseline baseline.json --out BENCH_engine.json
 
+    # Regenerate the report-suite numbers:
+    PYTHONPATH=src python scripts/perf_report.py --suite report
+
     # Smoke mode (CI): run every workload once, no timing claims:
     PYTHONPATH=src python scripts/perf_report.py --smoke
+    PYTHONPATH=src python scripts/perf_report.py --suite report --smoke
 
-Each workload is timed as best-of-``--repeats`` wall clock, which is the
-standard way to reduce scheduler noise for sub-second microbenchmarks.
-The emitted JSON records per-workload baseline/after seconds and the
-speedup ratio.
+Engine workloads are timed as best-of-``--repeats`` wall clock, which is
+the standard way to reduce scheduler noise for sub-second
+microbenchmarks; the report suite times whole regeneration passes.
 """
 
 from __future__ import annotations
@@ -55,13 +66,97 @@ def run_all(workloads: dict, repeats: int) -> dict:
     return results
 
 
+def run_report_suite(args) -> int:
+    """Time full-report regeneration: cold serial / cold parallel / warm.
+
+    All three passes must be byte-identical -- the cache and the pool
+    are pure wall-clock levers.  Writes ``BENCH_report.json`` (or
+    ``--out``).
+    """
+    import hashlib
+    import os
+    import shutil
+    import tempfile
+
+    from repro.analysis.cache import ResultCache
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.report import generate
+    from repro.experiments.runner import run_suite
+
+    cache_root = Path(tempfile.mkdtemp(prefix="repro-report-bench-"))
+    try:
+        if args.smoke:
+            subset = ["e05", "a5"]
+            first = run_suite(subset, cache=ResultCache(cache_root))
+            second = run_suite(subset, cache=ResultCache(cache_root))
+            ok = all(not r.cached for r in first) and all(r.cached for r in second)
+            identical = [r.table.digest() for r in first] == [
+                r.table.digest() for r in second
+            ]
+            for run in second:
+                print(f"  {run.experiment}: {'hit' if run.cached else 'MISS'}")
+            if not (ok and identical):
+                print("report-suite smoke FAILED", file=sys.stderr)
+                return 1
+            print("  report runner: ok")
+            return 0
+
+        passes = {}
+        print(f"timing the {len(ALL_EXPERIMENTS)}-experiment report "
+              f"(workers={args.workers}, {os.cpu_count()} cores):")
+        start = time.perf_counter()
+        cold_serial = generate()
+        passes["cold_serial_seconds"] = time.perf_counter() - start
+        print(f"  cold serial, uncached   {passes['cold_serial_seconds']:8.2f} s")
+
+        start = time.perf_counter()
+        cold_parallel = generate(workers=args.workers, cache=ResultCache(cache_root))
+        passes["cold_parallel_seconds"] = time.perf_counter() - start
+        print(f"  cold parallel (pool)    {passes['cold_parallel_seconds']:8.2f} s")
+
+        start = time.perf_counter()
+        warm = generate(workers=args.workers, cache=ResultCache(cache_root))
+        passes["warm_cache_seconds"] = time.perf_counter() - start
+        print(f"  warm cache              {passes['warm_cache_seconds']:8.2f} s")
+
+        byte_identical = cold_serial == cold_parallel == warm
+        payload = {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "workers": args.workers,
+            "experiments": len(ALL_EXPERIMENTS),
+            **passes,
+            "cold_parallel_speedup": passes["cold_serial_seconds"]
+            / passes["cold_parallel_seconds"],
+            "warm_speedup_vs_cold_serial": passes["cold_serial_seconds"]
+            / passes["warm_cache_seconds"],
+            "byte_identical": byte_identical,
+            "report_sha256": hashlib.sha256(cold_serial.encode("utf-8")).hexdigest(),
+        }
+        out = args.out or "BENCH_report.json"
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+        print(f"  cold parallel speedup   {payload['cold_parallel_speedup']:6.2f}x")
+        print(f"  warm vs cold serial     {payload['warm_speedup_vs_cold_serial']:6.2f}x")
+        print(f"  byte identical          {byte_identical}")
+        return 0 if byte_identical else 1
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=("engine", "report"), default="engine",
+                        help="engine microbenchmarks (default) or full-report "
+                             "regeneration timings")
     parser.add_argument("--save", metavar="PATH", help="write raw timings to PATH")
     parser.add_argument("--baseline", metavar="PATH", help="baseline timings to compare against")
-    parser.add_argument("--out", metavar="PATH", default="BENCH_engine.json",
-                        help="comparison report path (with --baseline)")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="report path (default BENCH_engine.json / BENCH_report.json)")
     parser.add_argument("--repeats", type=int, default=5, help="best-of-N timing repeats")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size for the report suite's parallel passes")
     parser.add_argument("--smoke", action="store_true",
                         help="run each workload once with no timing output (CI rot check)")
     parser.add_argument("--kernel-src", metavar="PATH", default=str(REPO_ROOT / "src"),
@@ -77,6 +172,10 @@ def main(argv=None) -> int:
     for entry in (args.kernel_src, str(REPO_ROOT / "benchmarks")):
         if entry not in sys.path:
             sys.path.insert(0, entry)
+
+    if args.suite == "report":
+        return run_report_suite(args)
+
     from engine_workloads import WORKLOADS
 
     if args.smoke:

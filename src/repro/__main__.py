@@ -6,6 +6,8 @@ Usage::
     python -m repro run e01 e14          # regenerate specific experiments
     python -m repro run all              # regenerate everything
     python -m repro report               # full EXPERIMENTS.md content
+    python -m repro report --workers 4   # parallel cache-miss regeneration
+    python -m repro report --no-cache    # recompute everything from scratch
 """
 
 from __future__ import annotations
@@ -39,8 +41,11 @@ def _cmd_run(ids) -> int:
     return 0
 
 
-def _cmd_report() -> int:
-    print(generate())
+def _cmd_report(args) -> int:
+    from .analysis.cache import ResultCache
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    print(generate(workers=args.workers, cache=cache))
     return 0
 
 
@@ -53,13 +58,27 @@ def main(argv=None) -> int:
     sub.add_parser("list", help="enumerate experiment ids and claims")
     run_parser = sub.add_parser("run", help="regenerate experiments by id")
     run_parser.add_argument("ids", nargs="+", help="experiment ids (or 'all')")
-    sub.add_parser("report", help="print the full EXPERIMENTS.md content")
+    report_parser = sub.add_parser(
+        "report", help="print the full EXPERIMENTS.md content"
+    )
+    report_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size for cache-miss experiments (default: serial)",
+    )
+    report_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every experiment, bypassing the result cache",
+    )
+    report_parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro/experiments)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args.ids)
-    return _cmd_report()
+    return _cmd_report(args)
 
 
 if __name__ == "__main__":

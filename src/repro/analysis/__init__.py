@@ -1,7 +1,8 @@
 """Measurement and reporting utilities for experiments."""
 
 from .availability import availability_curve, unavailability_nines
-from .parallel import parallel_sweep
+from .cache import ResultCache, canonical_kwargs, default_cache_dir, module_closure, source_digest
+from .parallel import parallel_sweep, pool_start_method
 from .report import Table
 from .stats import Summary, confidence_interval, geometric_mean, ratio, summarize
 from .sweep import cross, sweep
@@ -15,7 +16,13 @@ __all__ = [
     "ratio",
     "sweep",
     "parallel_sweep",
+    "pool_start_method",
     "cross",
     "availability_curve",
     "unavailability_nines",
+    "ResultCache",
+    "canonical_kwargs",
+    "default_cache_dir",
+    "module_closure",
+    "source_digest",
 ]

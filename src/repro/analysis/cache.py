@@ -1,0 +1,313 @@
+"""On-disk content-addressed cache of experiment result tables.
+
+Every experiment in this library is a deterministic function of its
+kwargs and of the source code it runs on, so its :class:`Table` can be
+memoized.  The cache key is the SHA-256 of three parts:
+
+* the experiment id (``"e01"``);
+* the canonicalized kwargs (:func:`canonical_kwargs` -- insensitive to
+  dict ordering, exact about value types and float bit patterns);
+* the source digest of every ``repro`` module the experiment's module
+  *transitively* imports (:func:`module_closure` + :func:`source_digest`).
+
+The third part is what makes the cache content-addressed rather than
+merely keyed: editing ``repro/storage/raid.py`` changes the digest of
+every experiment that (transitively) imports it -- e01, e02 -- and their
+next run recomputes, while an experiment that never touches storage
+(e20's TLB study) keeps hitting.  There is no ``--force`` flag to
+remember and no staleness to reason about; a wrong hit would require a
+SHA-256 collision.
+
+Entries are one JSON file each under :func:`default_cache_dir`
+(``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro/experiments``, else
+``~/.cache/repro/experiments``); wiping the cache is deleting that
+directory (or :meth:`ResultCache.wipe`).  A corrupted or truncated entry
+is indistinguishable from a miss: the experiment recomputes and the
+entry is rewritten.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib.util
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .report import Table
+
+__all__ = [
+    "canonical_kwargs",
+    "module_closure",
+    "source_digest",
+    "default_cache_dir",
+    "ResultCache",
+]
+
+
+# -- kwargs canonicalization ------------------------------------------------
+
+
+def _canon(value: Any) -> str:
+    """A stable, type-exact text form for one kwargs value.
+
+    Dicts are sorted by canonicalized key, so two dicts that compare
+    equal canonicalize identically regardless of insertion order.
+    Floats use ``repr`` (shortest round-trip form), so ``1.0`` and ``1``
+    stay distinct keys and ``0.1 + 0.2`` keys differently from ``0.3``:
+    the cache never pretends two runs were the same when Python would
+    have computed with different values.
+    """
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canon(v) for v in value) + "]"
+    if isinstance(value, dict):
+        items = sorted((_canon(k), _canon(v)) for k, v in value.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__} value {value!r} for a "
+        f"cache key; experiment kwargs must be built from "
+        f"None/bool/int/float/str/list/tuple/dict"
+    )
+
+
+def canonical_kwargs(kwargs: Optional[Dict[str, Any]]) -> str:
+    """Canonical text form of an experiment's kwargs dict."""
+    return _canon(dict(kwargs or {}))
+
+
+# -- source closure and digest ----------------------------------------------
+
+
+def _module_file(name: str) -> Optional[str]:
+    """Path of ``name``'s source file, or None if it has no file."""
+    try:
+        spec = importlib.util.find_spec(name)
+    except (ImportError, AttributeError, ValueError):
+        return None
+    if spec is None or spec.origin is None or not spec.has_location:
+        return None
+    return spec.origin
+
+
+def _is_package(name: str) -> bool:
+    try:
+        spec = importlib.util.find_spec(name)
+    except (ImportError, AttributeError, ValueError):
+        return False
+    return spec is not None and spec.submodule_search_locations is not None
+
+
+def _resolve_relative(module: str, level: int, target: Optional[str]) -> Optional[str]:
+    """Absolute module named by ``from <level dots><target> import ...``."""
+    base = module if _is_package(module) else module.rpartition(".")[0]
+    for _ in range(level - 1):
+        if "." not in base:
+            return None
+        base = base.rpartition(".")[0]
+    return f"{base}.{target}" if target else base
+
+
+def _in_root(name: str, root: str) -> bool:
+    return name == root or name.startswith(root + ".")
+
+
+def _imported_modules(module: str, source: str, root: str) -> List[str]:
+    """Absolute in-``root`` module names imported by ``module``'s source."""
+    found: List[str] = []
+
+    def add(candidate: Optional[str]) -> None:
+        if candidate and _in_root(candidate, root) and _module_file(candidate):
+            found.append(candidate)
+
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                target = _resolve_relative(module, node.level, node.module)
+            else:
+                target = node.module
+            if target is None:
+                continue
+            add(target)
+            # `from pkg import sub` binds a *submodule* when sub is one;
+            # track it so edits to sub invalidate this module's users.
+            for alias in node.names:
+                add(f"{target}.{alias.name}")
+    return found
+
+
+def module_closure(module: str, root: str = "repro") -> List[str]:
+    """All in-``root`` modules ``module`` transitively imports (plus itself).
+
+    Resolution is static (AST of each source file), so nothing is
+    executed.  Package ``__init__`` modules along every imported dotted
+    path are included *digest-only* -- their file bytes enter the key,
+    but their own imports are not followed.  Recursing through them
+    would collapse granularity entirely (``repro/experiments/__init__``
+    imports every experiment, so every key would cover every file);
+    stopping at the file is sound here because this codebase's modules
+    import the submodules they use directly (``from ..storage.raid
+    import ...``), never through a package re-export.  The one
+    limitation: a name consumed via ``from ..pkg import name`` where
+    ``pkg/__init__`` re-exports it from ``pkg.impl`` tracks edits to
+    ``pkg/__init__.py`` but not to ``pkg/impl.py``.
+    """
+    seen: set = set()
+    stack = [module]
+    while stack:
+        name = stack.pop()
+        if name in seen or not _in_root(name, root):
+            continue
+        path = _module_file(name)
+        if path is None:
+            continue
+        seen.add(name)
+        # Parent packages execute on import; digest them (digest-only).
+        parent = name.rpartition(".")[0]
+        if parent:
+            stack.append(parent)
+        if _is_package(name):
+            continue
+        try:
+            source = Path(path).read_text()
+        except OSError:
+            continue
+        stack.extend(_imported_modules(name, source, root))
+    return sorted(seen)
+
+
+def source_digest(modules: Iterable[str]) -> str:
+    """SHA-256 over the source bytes of the named modules.
+
+    The digest covers module *names* as well as contents, so renaming a
+    module changes the key even if its text is byte-identical.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(set(modules)):
+        path = _module_file(name)
+        if path is None:
+            continue
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\0")
+        try:
+            digest.update(Path(path).read_bytes())
+        except OSError:
+            pass
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+# -- the cache --------------------------------------------------------------
+
+
+def default_cache_dir() -> Path:
+    """Where entries live unless a root is given explicitly.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise the XDG cache convention.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro" / "experiments"
+
+
+class ResultCache:
+    """Content-addressed store of experiment :class:`Table` results.
+
+    ``hits`` / ``misses`` count lookups on this instance; a corrupted
+    entry counts as a miss.  All methods take the experiment's *module
+    name* so the key can incorporate the source digest of its import
+    closure; pass a precomputed ``key=`` to skip recomputing it when one
+    lookup is followed by a :meth:`put` of the same run.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None, *, package: str = "repro"):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.package = package
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(
+        self, experiment: str, module: str, kwargs: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """The content hash for one (experiment, kwargs, source) state."""
+        digest = source_digest(module_closure(module, root=self.package))
+        payload = f"{experiment}\n{canonical_kwargs(kwargs)}\n{digest}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _entry_path(self, experiment: str, key: str) -> Path:
+        return self.root / f"{experiment}-{key[:24]}.json"
+
+    def get(
+        self,
+        experiment: str,
+        module: str,
+        kwargs: Optional[Dict[str, Any]] = None,
+        *,
+        key: Optional[str] = None,
+    ) -> Optional[Table]:
+        """The cached table, or None on miss / stale source / corruption."""
+        key = key or self.key_for(experiment, module, kwargs)
+        path = self._entry_path(experiment, key)
+        try:
+            payload = json.loads(path.read_text())
+            table = Table.from_dict(payload["table"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, truncated, or hand-edited entry: recompute.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return table
+
+    def put(
+        self,
+        experiment: str,
+        module: str,
+        table: Table,
+        kwargs: Optional[Dict[str, Any]] = None,
+        *,
+        key: Optional[str] = None,
+    ) -> Path:
+        """Store one result; returns the entry path.
+
+        The write goes through a temporary file and ``os.replace`` so a
+        reader racing a writer sees either the old entry or the new one,
+        never a torn JSON document.
+        """
+        key = key or self.key_for(experiment, module, kwargs)
+        path = self._entry_path(experiment, key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "experiment": experiment,
+            "module": module,
+            "kwargs": canonical_kwargs(kwargs),
+            "key": key,
+            "table": table.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=1) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def wipe(self) -> None:
+        """Delete every entry (and the cache directory itself)."""
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache(root={str(self.root)!r}, hits={self.hits}, misses={self.misses})"

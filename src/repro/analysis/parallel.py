@@ -27,7 +27,45 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
-__all__ = ["parallel_sweep"]
+__all__ = ["parallel_sweep", "pool_start_method"]
+
+
+def pool_start_method() -> str:
+    """The pinned ``multiprocessing`` start method for sweep pools.
+
+    Pinned explicitly -- ``fork`` where the platform offers it, else
+    ``spawn`` -- rather than inherited from the platform default, so a
+    sweep behaves the same on every machine and a future change of
+    Python's default (as happened for macOS in 3.8 and for Linux in
+    3.14) cannot silently alter worker semantics.  Results are identical
+    either way because every sweep point is self-seeded; ``fork`` is
+    preferred only because it avoids re-importing the package per
+    worker.
+    """
+    import multiprocessing
+
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _check_picklable(run: Callable[[Any], Any]) -> None:
+    """Fail fast, by name, when ``run`` cannot reach worker processes.
+
+    Without this the pool raises an opaque ``PicklingError`` from the
+    middle of ``Pool.map`` (or, under ``spawn``, a worker traceback that
+    never names the callable).
+    """
+    import pickle
+
+    try:
+        pickle.dumps(run)
+    except Exception as exc:
+        name = getattr(run, "__qualname__", None) or repr(run)
+        raise TypeError(
+            f"parallel_sweep: the run callable {name!r} is not picklable, so "
+            f"it cannot be shipped to worker processes.  Use a module-level "
+            f"function or a functools.partial over one -- closures, lambdas "
+            f"and bound instance state do not pickle.  ({exc})"
+        ) from exc
 
 
 def parallel_sweep(
@@ -48,9 +86,11 @@ def parallel_sweep(
 
     import multiprocessing
 
+    _check_picklable(run)
     n_workers = min(workers, len(points))
+    context = multiprocessing.get_context(pool_start_method())
     # chunksize=1 keeps scheduling fair when points have skewed runtimes
     # (e.g. the stalled-server end of an availability sweep).
-    with multiprocessing.Pool(processes=n_workers) as pool:
+    with context.Pool(processes=n_workers) as pool:
         results = pool.map(run, points, chunksize=1)
     return list(zip(points, results))

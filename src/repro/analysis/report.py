@@ -7,7 +7,9 @@ measured comparisons regenerate with one call.
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+import hashlib
+import json
+from typing import Any, Dict, List, Sequence
 
 __all__ = ["Table"]
 
@@ -38,6 +40,41 @@ class Table:
         except ValueError:
             raise KeyError(f"no column {name!r} in {self.columns}") from None
         return [row[idx] for row in self.rows]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; :meth:`from_dict` round-trips it exactly.
+
+        Cells keep their Python types (int vs. float vs. bool vs. str);
+        non-finite floats survive because the encoder emits ``NaN`` /
+        ``Infinity`` literals which ``json.loads`` reads back.
+        """
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "note": self.note,
+            "rows": [list(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Table":
+        """Rebuild a table serialized by :meth:`to_dict`."""
+        table = cls(payload["title"], payload["columns"], note=payload.get("note", ""))
+        for row in payload["rows"]:
+            table.add_row(*row)
+        return table
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical serialized table.
+
+        Covers full-precision cell values (not the rounded rendering),
+        so two tables digest equal iff :meth:`to_dict` round-trips to
+        the same content -- the identity used by the result cache and by
+        the byte-identical checks in the perf reports.
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=True
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     @staticmethod
     def _format_cell(value: Any) -> str:

@@ -15,10 +15,13 @@ false-positive count.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from functools import partial
+from typing import Dict, List, Optional, Tuple
 
+from ..analysis.parallel import parallel_sweep
 from ..analysis.report import Table
 from ..core.prediction import StutterTrendPredictor, score_predictions
+from ..sim.random import derive_seed
 
 __all__ = ["run"]
 
@@ -46,6 +49,22 @@ def _wearout_episodes(
         times.append(t)
 
 
+def _episode_stream(
+    point: Tuple[str, Optional[float]],
+    base_rate: float,
+    acceleration: float,
+    horizon: float,
+    seed: int,
+) -> List[float]:
+    """One disk's episode timeline -- an independent, per-point-seeded
+    sweep point (``death_at=None`` marks a healthy disk)."""
+    name, death_at = point
+    rng = random.Random(derive_seed(seed, f"e19/{name}"))
+    if death_at is None:
+        return _healthy_episodes(base_rate, horizon, rng)
+    return _wearout_episodes(base_rate, death_at, acceleration, rng)
+
+
 def run(
     n_healthy: int = 16,
     n_dying: int = 4,
@@ -53,24 +72,40 @@ def run(
     acceleration: float = 30.0,
     horizon: float = 3000.0,
     seed: int = 41,
+    workers: Optional[int] = None,
 ) -> Table:
-    """Regenerate the E19 table: predictor scores on the synthetic fleet."""
-    master = random.Random(seed)
+    """Regenerate the E19 table: predictor scores on the synthetic fleet.
+
+    Each disk's episode timeline is seeded independently from its name
+    (:func:`derive_seed`), so the fleet's streams are order-independent
+    and ``workers`` can generate them in a process pool (``None`` =
+    serial, same output).  The predictor feed stays serial: it consumes
+    the merged timeline in global order, as a live monitor would.
+    """
     predictor = StutterTrendPredictor(
         baseline_rate=base_rate, window=100.0, factor=4.0, min_episodes=5
     )
-    streams: Dict[str, List[float]] = {}
-    death_times: Dict[str, float] = {}
-    for i in range(n_healthy):
-        streams[f"ok{i}"] = _healthy_episodes(
-            base_rate, horizon, random.Random(master.randrange(2**32))
+    death_times: Dict[str, float] = {
+        f"dying{i}": random.Random(derive_seed(seed, f"e19/death/dying{i}")).uniform(
+            0.5, 0.9
         )
-    for i in range(n_dying):
-        death_at = master.uniform(0.5, 0.9) * horizon
-        death_times[f"dying{i}"] = death_at
-        streams[f"dying{i}"] = _wearout_episodes(
-            base_rate, death_at, acceleration, random.Random(master.randrange(2**32))
-        )
+        * horizon
+        for i in range(n_dying)
+    }
+    points: List[Tuple[str, Optional[float]]] = [
+        (f"ok{i}", None) for i in range(n_healthy)
+    ] + [(f"dying{i}", death_times[f"dying{i}"]) for i in range(n_dying)]
+    stream_fn = partial(
+        _episode_stream,
+        base_rate=base_rate,
+        acceleration=acceleration,
+        horizon=horizon,
+        seed=seed,
+    )
+    streams: Dict[str, List[float]] = {
+        name: episodes
+        for (name, _), episodes in parallel_sweep(points, stream_fn, workers=workers)
+    }
 
     # Merge-feed all episodes in global time order (as a monitor would see).
     events = sorted(

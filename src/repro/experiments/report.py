@@ -3,13 +3,24 @@
 Usage::
 
     python -m repro.experiments.report > EXPERIMENTS.md
+    python -m repro.experiments.report --workers 4 > EXPERIMENTS.md
+    python -m repro.experiments.report --no-cache > EXPERIMENTS.md
 
 Each section pairs the paper's claim with the freshly measured table, so
-the document can always be rebuilt from the code it describes.
+the document can always be rebuilt from the code it describes.  Results
+are memoized in a content-addressed on-disk cache (see
+:mod:`repro.analysis.cache`; ``--no-cache`` bypasses it, deleting the
+cache directory wipes it) and cache misses run in parallel across
+``--workers`` processes.  The output is byte-identical to a serial,
+uncached run at any worker count and any cache state.
 """
 
 from __future__ import annotations
 
+import argparse
+from typing import Iterable, Optional
+
+from ..analysis.cache import ResultCache
 from . import ALL_EXPERIMENTS
 
 __all__ = ["CLAIMS", "generate", "main"]
@@ -129,8 +140,19 @@ CLAIMS = {
 }
 
 
-def generate() -> str:
-    """The full EXPERIMENTS.md text with freshly measured tables."""
+def generate(
+    experiments: Optional[Iterable[str]] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> str:
+    """The full EXPERIMENTS.md text with freshly measured tables.
+
+    ``workers`` and ``cache`` only change how fast the tables arrive
+    (see :func:`repro.experiments.runner.run_suite`); the text is
+    byte-identical to a serial, uncached run.
+    """
+    from .runner import run_suite
+
     parts = [
         "# EXPERIMENTS — paper claims vs. measured reproduction",
         "",
@@ -143,24 +165,49 @@ def generate() -> str:
         "resets); the reproduction target is the *shape* of each claim.",
         "",
     ]
-    for key, runner in ALL_EXPERIMENTS.items():
-        table = runner()
-        parts.append(f"## {key.upper()}")
+    for run in run_suite(experiments, workers=workers, cache=cache):
+        parts.append(f"## {run.experiment.upper()}")
         parts.append("")
-        parts.append(f"**Paper:** {CLAIMS[key]}")
+        parts.append(f"**Paper:** {CLAIMS[run.experiment]}")
         parts.append("")
         parts.append("**Measured:**")
         parts.append("")
         parts.append("```")
-        parts.append(table.render())
+        parts.append(run.table.render())
         parts.append("```")
         parts.append("")
     return "\n".join(parts)
 
 
-def main() -> None:
-    print(generate())
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.report",
+        description="Regenerate the full EXPERIMENTS.md content on stdout.",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for cache-miss experiments (default: serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every experiment, bypassing the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/experiments)",
+    )
+    args = parser.parse_args(argv)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    print(generate(workers=args.workers, cache=cache))
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

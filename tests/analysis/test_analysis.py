@@ -112,6 +112,26 @@ class TestSweep:
     def test_cross_empty(self):
         assert cross() == [{}]
 
+    def test_cross_orders_by_sorted_key_not_call_order(self):
+        """Locks the docstring's promise: axes expand in sorted-key
+        order, so two call sites spelling the kwargs differently get the
+        same (cacheable, diffable) point sequence."""
+        spelled_one_way = cross(b=[1, 2], a=["x", "y"])
+        spelled_other_way = cross(a=["x", "y"], b=[1, 2])
+        assert spelled_one_way == spelled_other_way
+        assert spelled_one_way == [
+            {"a": "x", "b": 1},
+            {"a": "x", "b": 2},
+            {"a": "y", "b": 1},
+            {"a": "y", "b": 2},
+        ]
+
+    def test_cross_is_exported_from_the_package(self):
+        import repro.analysis
+
+        assert repro.analysis.cross is cross
+        assert "cross" in repro.analysis.__all__
+
 
 class TestAvailability:
     def _meter(self):

@@ -1,0 +1,211 @@
+"""Correctness of the content-addressed result cache.
+
+Covers the three key ingredients (kwargs canonicalization, source
+closure + digest, Table serialization) and the cache behaviors built on
+them: hit, miss, invalidation on source edit, and corrupted-entry
+fallback.
+"""
+
+import importlib
+import json
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.cache import (
+    ResultCache,
+    canonical_kwargs,
+    module_closure,
+    source_digest,
+)
+from repro.analysis.report import Table
+
+
+class TestCanonicalKwargs:
+    def test_dict_order_is_irrelevant(self):
+        assert canonical_kwargs({"a": 1, "b": 2.5}) == canonical_kwargs({"b": 2.5, "a": 1})
+
+    def test_nested_dict_order_is_irrelevant(self):
+        left = {"outer": {"x": 1, "y": 2}}
+        right = {"outer": {"y": 2, "x": 1}}
+        assert canonical_kwargs(left) == canonical_kwargs(right)
+
+    def test_float_and_int_stay_distinct(self):
+        assert canonical_kwargs({"n": 1}) != canonical_kwargs({"n": 1.0})
+
+    def test_float_repr_is_exact(self):
+        # 0.1 + 0.2 != 0.3 in binary floats; the key must not pretend otherwise.
+        assert canonical_kwargs({"x": 0.1 + 0.2}) != canonical_kwargs({"x": 0.3})
+
+    def test_bool_and_int_stay_distinct(self):
+        assert canonical_kwargs({"flag": True}) != canonical_kwargs({"flag": 1})
+
+    def test_list_and_tuple_canonicalize_identically(self):
+        assert canonical_kwargs({"v": [1, 2]}) == canonical_kwargs({"v": (1, 2)})
+
+    def test_none_and_strings(self):
+        assert canonical_kwargs({"a": None, "s": "x"}) == canonical_kwargs({"s": "x", "a": None})
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonical_kwargs({"bad": object()})
+
+    def test_empty_and_missing_kwargs_agree(self):
+        assert canonical_kwargs(None) == canonical_kwargs({})
+
+
+class TestTableRoundTrip:
+    def _table(self):
+        table = Table("T: demo", ["name", "value", "flag"], note="a note")
+        table.add_row("pi", 3.14159, True)
+        table.add_row("count", 7, False)
+        table.add_row("nan", float("nan"), True)
+        table.add_row("inf", float("inf"), False)
+        return table
+
+    def test_round_trip_renders_identically(self):
+        table = self._table()
+        assert Table.from_dict(table.to_dict()).render() == table.render()
+
+    def test_round_trip_digest_is_stable(self):
+        table = self._table()
+        assert Table.from_dict(table.to_dict()).digest() == table.digest()
+
+    def test_round_trip_survives_json(self):
+        table = self._table()
+        payload = json.loads(json.dumps(table.to_dict()))
+        rebuilt = Table.from_dict(payload)
+        assert rebuilt.render() == table.render()
+        assert rebuilt.digest() == table.digest()
+
+    def test_digest_sees_full_precision(self):
+        """Cells that render identically still digest differently."""
+        a = Table("T", ["v"])
+        a.add_row(0.123456789)
+        b = Table("T", ["v"])
+        b.add_row(0.123456788)
+        assert a.render() == b.render()  # both display as 3 significant digits
+        assert a.digest() != b.digest()
+
+    def test_digest_changes_with_any_field(self):
+        base = self._table()
+        retitled = Table("T: other", base.columns, note=base.note)
+        for row in base.rows:
+            retitled.add_row(*row)
+        assert retitled.digest() != base.digest()
+
+
+@pytest.fixture
+def fake_package(tmp_path, monkeypatch):
+    """A tiny importable package tree: exp -> util, plus an unrelated mod."""
+    pkg = tmp_path / "fscpkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "util.py").write_text("VALUE = 1\n")
+    (pkg / "unrelated.py").write_text("OTHER = 2\n")
+    (pkg / "exp.py").write_text(
+        textwrap.dedent(
+            """
+            from .util import VALUE
+
+            def run():
+                return VALUE
+            """
+        )
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    importlib.invalidate_caches()
+    yield pkg
+    for name in list(sys.modules):
+        if name.startswith("fscpkg"):
+            del sys.modules[name]
+
+
+class TestModuleClosure:
+    def test_closure_follows_transitive_imports(self, fake_package):
+        closure = module_closure("fscpkg.exp", root="fscpkg")
+        assert "fscpkg.exp" in closure
+        assert "fscpkg.util" in closure
+        assert "fscpkg" in closure  # parent package __init__ executes on import
+        assert "fscpkg.unrelated" not in closure
+
+    def test_digest_invalidates_on_source_edit(self, fake_package):
+        closure = module_closure("fscpkg.exp", root="fscpkg")
+        before = source_digest(closure)
+        (fake_package / "util.py").write_text("VALUE = 2\n")
+        assert source_digest(closure) != before
+
+    def test_digest_ignores_unrelated_edit(self, fake_package):
+        closure = module_closure("fscpkg.exp", root="fscpkg")
+        before = source_digest(closure)
+        (fake_package / "unrelated.py").write_text("OTHER = 3\n")
+        assert source_digest(closure) == before
+
+    def test_experiment_granularity(self):
+        """The keying promise: raid.py invalidates e01/e02, not e20."""
+        e01 = module_closure("repro.experiments.e01_raid10")
+        e02 = module_closure("repro.experiments.e02_striping")
+        e20 = module_closure("repro.experiments.e20_tlb")
+        assert "repro.storage.raid" in e01
+        assert "repro.storage.raid" in e02
+        assert "repro.storage.raid" not in e20
+
+    def test_closure_does_not_swallow_sibling_experiments(self):
+        """Parent-package __init__ files are digest-only: e01's closure
+        must not include every experiment in the suite."""
+        closure = module_closure("repro.experiments.e01_raid10")
+        assert "repro.experiments.e20_tlb" not in closure
+
+
+class TestResultCache:
+    def _table(self):
+        table = Table("T: cached", ["k", "v"])
+        table.add_row("a", 1.5)
+        return table
+
+    def test_miss_then_hit(self, tmp_path, fake_package):
+        cache = ResultCache(tmp_path / "c", package="fscpkg")
+        assert cache.get("x1", "fscpkg.exp") is None
+        cache.put("x1", "fscpkg.exp", self._table())
+        got = cache.get("x1", "fscpkg.exp")
+        assert got is not None and got.render() == self._table().render()
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_kwargs_key_separation(self, tmp_path, fake_package):
+        cache = ResultCache(tmp_path / "c", package="fscpkg")
+        cache.put("x1", "fscpkg.exp", self._table(), kwargs={"n": 10})
+        assert cache.get("x1", "fscpkg.exp", kwargs={"n": 20}) is None
+        assert cache.get("x1", "fscpkg.exp", kwargs={"n": 10}) is not None
+
+    def test_source_edit_invalidates(self, tmp_path, fake_package):
+        cache = ResultCache(tmp_path / "c", package="fscpkg")
+        cache.put("x1", "fscpkg.exp", self._table())
+        (fake_package / "util.py").write_text("VALUE = 99\n")
+        assert cache.get("x1", "fscpkg.exp") is None  # stale key never matches
+        cache.put("x1", "fscpkg.exp", self._table())
+        assert cache.get("x1", "fscpkg.exp") is not None
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path, fake_package):
+        cache = ResultCache(tmp_path / "c", package="fscpkg")
+        path = cache.put("x1", "fscpkg.exp", self._table())
+        path.write_text("{ not json")
+        assert cache.get("x1", "fscpkg.exp") is None
+        # ...and the caller's recompute+put repairs it.
+        cache.put("x1", "fscpkg.exp", self._table())
+        assert cache.get("x1", "fscpkg.exp") is not None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path, fake_package):
+        cache = ResultCache(tmp_path / "c", package="fscpkg")
+        path = cache.put("x1", "fscpkg.exp", self._table())
+        payload = json.loads(path.read_text())
+        del payload["table"]
+        path.write_text(json.dumps(payload))
+        assert cache.get("x1", "fscpkg.exp") is None
+
+    def test_wipe(self, tmp_path, fake_package):
+        cache = ResultCache(tmp_path / "c", package="fscpkg")
+        cache.put("x1", "fscpkg.exp", self._table())
+        cache.wipe()
+        assert cache.get("x1", "fscpkg.exp") is None
+        assert not (tmp_path / "c").exists()

@@ -69,3 +69,43 @@ class TestExperimentWorkersKnob:
         serial = e14_availability.run(**kwargs).render()
         parallel = e14_availability.run(workers=2, **kwargs).render()
         assert serial == parallel
+
+
+class TestPicklabilityGuard:
+    def test_lambda_fails_early_with_a_named_error(self):
+        with pytest.raises(TypeError) as excinfo:
+            parallel_sweep([1, 2], lambda v: v, workers=2)
+        message = str(excinfo.value)
+        assert "not picklable" in message
+        assert "lambda" in message  # names the offending callable
+        assert "module-level" in message  # ...and says how to fix it
+
+    def test_closure_fails_early(self):
+        offset = 3
+
+        def add_offset(v):
+            return v + offset
+
+        with pytest.raises(TypeError, match="add_offset"):
+            parallel_sweep([1, 2], add_offset, workers=2)
+
+    def test_serial_path_never_requires_pickling(self):
+        # Serial sweeps stay in-process, so lambdas remain fine there.
+        assert parallel_sweep([1, 2], lambda v: v * 2) == [(1, 2), (2, 4)]
+        assert parallel_sweep([1, 2], lambda v: v * 2, workers=1) == [(1, 2), (2, 4)]
+
+
+class TestStartMethodPin:
+    def test_pinned_method_is_explicit_and_available(self):
+        import multiprocessing
+
+        from repro.analysis.parallel import pool_start_method
+
+        method = pool_start_method()
+        assert method in multiprocessing.get_all_start_methods()
+        # The pin prefers fork wherever the platform offers it, rather
+        # than floating on the interpreter's platform default.
+        if "fork" in multiprocessing.get_all_start_methods():
+            assert method == "fork"
+        else:
+            assert method == "spawn"

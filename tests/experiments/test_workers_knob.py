@@ -1,0 +1,40 @@
+"""Every experiment with a ``workers=`` knob renders byte-identically
+at any worker count.
+
+The report's byte-identical guarantee rests on this: each experiment's
+sweep points are independent, self-seeded simulations and
+``parallel_sweep`` preserves point order, so a pool changes nothing but
+wall clock.  Sizes are reduced; the property is order/seeding, not load.
+"""
+
+import pytest
+
+from repro.experiments import (
+    a2_threshold,
+    a7_hedging,
+    e01_raid10,
+    e05_zones,
+    e06_variance,
+    e12_dht,
+    e19_prediction,
+    e21_growth,
+)
+
+CASES = {
+    "e01": (e01_raid10.run, {"n_blocks": 120}),
+    "e05": (e05_zones.run, {"scan_blocks": 800}),
+    "e06": (e06_variance.run, {"n_runs": 8}),
+    "e12": (e12_dht.run, {"n_ops": 150}),
+    "e19": (e19_prediction.run, {"n_healthy": 4, "n_dying": 2, "horizon": 1000.0}),
+    "e21": (e21_growth.run, {"n_blocks": 150, "new_counts": (0, 2)}),
+    "a2": (a2_threshold.run, {"n_requests": 100, "t_values": (0.3, 3.0)}),
+    "a7": (a7_hedging.run, {"n_tasks": 10, "thresholds": (1.2, 8.0)}),
+}
+
+
+@pytest.mark.parametrize("key", sorted(CASES))
+def test_workers_do_not_change_the_table(key):
+    run, kwargs = CASES[key]
+    serial = run(**kwargs).render()
+    pooled = run(workers=2, **kwargs).render()
+    assert pooled == serial

@@ -47,3 +47,12 @@ def test_perf_report_smoke_mode():
     result = _run([sys.executable, "scripts/perf_report.py", "--smoke"])
     assert result.returncode == 0, result.stdout + result.stderr
     assert "rate_change_storm: ok" in result.stdout
+
+
+def test_perf_report_report_suite_smoke_mode():
+    """The report suite's miss-then-hit check passes against a fresh cache."""
+    result = _run(
+        [sys.executable, "scripts/perf_report.py", "--suite", "report", "--smoke"]
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "report runner: ok" in result.stdout

@@ -1,0 +1,62 @@
+"""CI smoke for the cached, parallel report runner.
+
+Runs the runner over a 2-experiment subset twice against a fresh cache:
+the first pass must be all misses, the second all hits, and the rendered
+output byte-identical across cache states, worker counts, and the plain
+serial path.
+"""
+
+from repro.analysis.cache import ResultCache
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.report import generate
+from repro.experiments.runner import run_suite
+
+SUBSET = ["e05", "a5"]  # two of the quickest experiments in the suite
+
+
+class TestRunnerCaching:
+    def test_second_pass_is_all_hits_and_byte_identical(self, tmp_path):
+        first_cache = ResultCache(tmp_path / "cache")
+        first = run_suite(SUBSET, cache=first_cache)
+        assert [r.cached for r in first] == [False, False]
+        assert first_cache.misses == len(SUBSET)
+        assert all(r.seconds > 0.0 for r in first)
+
+        second_cache = ResultCache(tmp_path / "cache")
+        second = run_suite(SUBSET, cache=second_cache)
+        assert all(r.cached for r in second)
+        assert second_cache.hits == len(SUBSET)
+        assert second_cache.misses == 0
+        assert [r.table.render() for r in first] == [r.table.render() for r in second]
+        assert [r.table.digest() for r in first] == [r.table.digest() for r in second]
+
+    def test_cached_generate_matches_serial_uncached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = generate(SUBSET, cache=cache)       # populates
+        warm = generate(SUBSET, cache=ResultCache(tmp_path / "cache"))
+        plain = generate(SUBSET)                   # serial, uncached
+        assert cold == warm == plain
+
+    def test_parallel_generate_matches_serial(self, tmp_path):
+        parallel = generate(SUBSET, workers=2, cache=ResultCache(tmp_path / "c2"))
+        assert parallel == generate(SUBSET)
+
+    def test_suite_order_is_preserved_for_any_subset(self):
+        runs = run_suite(["a5", "e05"])
+        assert [r.experiment for r in runs] == ["a5", "e05"]
+
+    def test_unknown_id_raises_by_name(self):
+        try:
+            run_suite(["e99"])
+        except KeyError as exc:
+            assert "e99" in str(exc)
+        else:
+            raise AssertionError("expected KeyError")
+
+    def test_runner_covers_every_experiment_id(self):
+        # Guards against an experiment added to ALL_EXPERIMENTS but
+        # keyed by a module the cache cannot resolve.
+        from repro.experiments.runner import experiment_module
+
+        for key in ALL_EXPERIMENTS:
+            assert experiment_module(key).startswith("repro.experiments.")
