@@ -1,0 +1,27 @@
+"""Microbenchmarks for the component-model hot paths.
+
+The pytest-benchmark face of ``models_workloads``: each benchmark times
+the shipped analytic path and asserts its checksum against the retained
+reference implementation, so a model change that silently alters service
+times fails here before it corrupts an experiment table.
+``scripts/perf_report.py --suite models`` times the same workloads
+standalone to emit the reference-vs-analytic ``BENCH_models.json``.
+"""
+
+from conftest import regenerate
+from models_workloads import metric_raid_run, random_io_remaps, zoned_stream
+
+
+def test_zoned_stream(benchmark):
+    total = regenerate(benchmark, zoned_stream, rounds=10, impl="analytic")
+    assert total == zoned_stream(impl="reference")
+
+
+def test_random_io_remaps(benchmark):
+    total = regenerate(benchmark, random_io_remaps, rounds=5, impl="analytic")
+    assert total == random_io_remaps(impl="reference")
+
+
+def test_metric_raid_run(benchmark):
+    checksum = regenerate(benchmark, metric_raid_run, rounds=5, impl="analytic")
+    assert checksum == metric_raid_run(impl="reference")

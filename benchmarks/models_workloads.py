@@ -1,0 +1,180 @@
+"""Component-model macrobenchmark workloads (the ``models`` suite).
+
+Where ``engine_workloads`` times the discrete-event kernel, these time
+the *component models* the kernel drives: the zoned disk service-time
+path, bad-block remap counting, and the metrics layer.  Each hot-path
+workload takes ``impl="analytic"`` (the shipped fast path) or
+``impl="reference"`` (the retained interpreted-loop spec:
+``Disk.service_time_reference`` / ``BadBlockMap.remapped_in_range_reference``
+/ a linear availability rescan), so ``scripts/perf_report.py --suite
+models`` can time both sides in one process and assert the checksums are
+*identical* — the fast paths are bit-exact replacements, not
+approximations.
+
+The full-experiment macros (e01/e02/e03) run the real experiment tables
+with the reference implementations monkey-patched in (``impl=
+"reference"``) or with the shipped code (``impl="analytic"``); their
+checksum is the table's canonical SHA-256 digest, which must also be
+identical across implementations.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+
+from repro.sim.engine import Simulator
+from repro.sim.metrics import AvailabilityMeter, LatencyRecorder
+from repro.storage.badblocks import BadBlockMap
+from repro.storage.disk import Disk, DiskParams
+from repro.storage.geometry import zoned_geometry
+
+__all__ = [
+    "zoned_stream",
+    "random_io_remaps",
+    "metric_raid_run",
+    "experiment_digest",
+    "reference_models",
+    "MODEL_WORKLOADS",
+    "MACRO_EXPERIMENTS",
+]
+
+
+@contextmanager
+def reference_models():
+    """Swap the retained reference implementations into the hot paths.
+
+    Restores the fast paths on exit.  Used to time "before" passes of
+    whole experiments without keeping an old source tree around; safe
+    because the reference methods are bit-identical in output.
+    """
+    patched = [
+        (Disk, "service_time", Disk.service_time_reference),
+        (BadBlockMap, "remapped_in_range", BadBlockMap.remapped_in_range_reference),
+    ]
+    saved = [(cls, name, cls.__dict__[name]) for cls, name, _ in patched]
+    try:
+        for cls, name, ref in patched:
+            setattr(cls, name, ref)
+        yield
+    finally:
+        for cls, name, orig in saved:
+            setattr(cls, name, orig)
+
+
+def _hawk_disk(n_zones: int, remap_rate: float, seed: int) -> Disk:
+    """A many-zone disk with an optional remap population."""
+    geometry = zoned_geometry(200_000, 11.0, 5.5, n_zones=n_zones)
+    badblocks = BadBlockMap.random(200_000, remap_rate, random.Random(seed)) \
+        if remap_rate else None
+    params = DiskParams(rpm=5400, avg_seek=0.011, block_size_mb=0.5)
+    return Disk(Simulator(), "bench", geometry=geometry, params=params,
+                badblocks=badblocks)
+
+
+def zoned_stream(
+    impl: str = "analytic", n_zones: int = 64, nblocks: int = 120_000, chunk: int = 48
+) -> float:
+    """Sequential stream across a many-zone disk, chunked like a scan.
+
+    Every request pays the per-zone transfer charge; with 64 zones the
+    reference path's linear ``_zone_end`` scan dominates.  Checksum: the
+    float sum of all service times (bit-identical across impls).
+    """
+    disk = _hawk_disk(n_zones, 0.0, seed=0)
+    service = disk.service_time if impl == "analytic" else disk.service_time_reference
+    total = 0.0
+    at = 0
+    remaining = nblocks
+    while remaining > 0:
+        span = min(chunk, remaining)
+        total += service(at, span, True)
+        at += span
+        remaining -= span
+    return total
+
+
+def random_io_remaps(
+    impl: str = "analytic", n_requests: int = 12_000, remap_rate: float = 0.02,
+    max_blocks: int = 256, seed: int = 11,
+) -> float:
+    """Random I/O against a remap-heavy disk (~4k grown defects).
+
+    The reference ``remapped_in_range`` scans min(request, map) per
+    request; the sorted-list path is two bisects.  Checksum: sum of
+    service times plus the total remap hits.
+    """
+    disk = _hawk_disk(16, remap_rate, seed)
+    service = disk.service_time if impl == "analytic" else disk.service_time_reference
+    count = disk.badblocks.remapped_in_range if impl == "analytic" \
+        else disk.badblocks.remapped_in_range_reference
+    rng = random.Random(seed + 1)
+    capacity = disk.geometry.capacity_blocks
+    total = 0.0
+    hits = 0
+    for _ in range(n_requests):
+        nblocks = rng.randint(1, max_blocks)
+        lba = rng.randrange(capacity - nblocks)
+        total += service(lba, nblocks, False)
+        hits += count(lba, nblocks)
+    return total + hits
+
+
+def metric_raid_run(
+    impl: str = "analytic", n_requests: int = 4_000, n_slos: int = 60, seed: int = 3
+) -> float:
+    """Metric-heavy monitoring pass: latencies from a mirrored-read
+    stream, with an availability curve re-queried as samples arrive.
+
+    Exercises ``AvailabilityMeter.availability_at`` (cached bisect vs
+    the reference linear rescan) and repeated ``LatencyRecorder``
+    summaries.  Checksum: sum of availabilities and summary means
+    (identical across impls — the cache is a pure wall-clock lever).
+    """
+    disk = _hawk_disk(8, 0.005, seed)
+    rng = random.Random(seed + 1)
+    capacity = disk.geometry.capacity_blocks
+    meter = AvailabilityMeter(slo=0.05)
+    recorder = LatencyRecorder()
+    slos = [0.005 * (i + 1) for i in range(n_slos)]
+    checksum = 0.0
+    for i in range(n_requests):
+        nblocks = rng.randint(1, 64)
+        lba = rng.randrange(capacity - nblocks)
+        latency = disk.service_time(lba, nblocks, False)
+        meter.record(latency)
+        recorder.record(latency)
+        if i % 100 == 99:  # periodic dashboard refresh over the curve
+            if impl == "analytic":
+                checksum += sum(meter.availability_at(s) for s in slos)
+            else:
+                checksum += sum(
+                    sum(1 for r in meter.response_times if r <= s) / meter.offered
+                    for s in slos
+                )
+            checksum += recorder.summary().mean
+    return checksum
+
+
+def experiment_digest(experiment: str, impl: str = "analytic", **kwargs) -> str:
+    """Regenerate one experiment table end to end; checksum = canonical
+    SHA-256 digest of the table (must match across implementations)."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    run = ALL_EXPERIMENTS[experiment]
+    if impl == "reference":
+        with reference_models():
+            return run(**kwargs).digest()
+    return run(**kwargs).digest()
+
+
+#: Paired hot-path workloads: name -> (callable, kwargs).  The perf
+#: report times each with impl="reference" then impl="analytic".
+MODEL_WORKLOADS = {
+    "zoned_stream": (zoned_stream, {}),
+    "random_io_remaps": (random_io_remaps, {}),
+    "metric_raid_run": (metric_raid_run, {}),
+}
+
+#: Full-experiment macros timed the same paired way.
+MACRO_EXPERIMENTS = ("e01", "e02", "e03")

@@ -1,13 +1,17 @@
 #!/usr/bin/env python
 """Time the benchmark suites and emit JSON reports.
 
-Two suites, selected with ``--suite``:
+Three suites, selected with ``--suite``:
 
 * ``engine`` (default) -- the kernel microbenchmarks, timed as
   baseline-vs-after (``BENCH_engine.json``);
 * ``report`` -- the full EXPERIMENTS.md regeneration through the cached
   parallel runner: cold serial, cold parallel, and warm-cache passes,
-  with a byte-identical cross-check (``BENCH_report.json``).
+  with a byte-identical cross-check (``BENCH_report.json``);
+* ``models`` -- the component-model hot paths (zoned streaming, remap
+  counting, the metrics layer) plus full e01/e02/e03 regenerations,
+  each timed against the retained reference implementations in the same
+  process, asserting bit-identical checksums (``BENCH_models.json``).
 
 Usage (from the repo root)::
 
@@ -24,6 +28,9 @@ Usage (from the repo root)::
 
     # Regenerate the report-suite numbers:
     PYTHONPATH=src python scripts/perf_report.py --suite report
+
+    # Regenerate the component-model numbers (reference vs analytic):
+    PYTHONPATH=src python scripts/perf_report.py --suite models
 
     # Smoke mode (CI): run every workload once, no timing claims:
     PYTHONPATH=src python scripts/perf_report.py --smoke
@@ -145,11 +152,92 @@ def run_report_suite(args) -> int:
         shutil.rmtree(cache_root, ignore_errors=True)
 
 
+def run_models_suite(args) -> int:
+    """Time the component-model hot paths against their retained
+    reference implementations and write ``BENCH_models.json``.
+
+    Every workload is run both ways in one process; the checksums must
+    be *identical* (the analytic paths are bit-exact, not approximate),
+    so any drift fails the run before a speedup is reported.
+    """
+    from models_workloads import MACRO_EXPERIMENTS, MODEL_WORKLOADS, experiment_digest
+
+    repeats = 1 if args.smoke else args.repeats
+    workloads = dict(MODEL_WORKLOADS)
+    if args.smoke:
+        # Reduced sizes: enough to exercise every code path, not to time.
+        workloads = {
+            "zoned_stream": (MODEL_WORKLOADS["zoned_stream"][0],
+                             {"nblocks": 4_000, "n_zones": 16}),
+            "random_io_remaps": (MODEL_WORKLOADS["random_io_remaps"][0],
+                                 {"n_requests": 400}),
+            "metric_raid_run": (MODEL_WORKLOADS["metric_raid_run"][0],
+                                {"n_requests": 400, "n_slos": 10}),
+        }
+
+    entries = {}
+    ok = True
+    print(f"timing {len(workloads)} model workloads + "
+          f"{len(MACRO_EXPERIMENTS)} experiment macros "
+          f"(best of {repeats}, reference vs analytic):")
+    for name, (fn, kwargs) in workloads.items():
+        ref = time_workload(fn, {**kwargs, "impl": "reference"}, repeats)
+        opt = time_workload(fn, {**kwargs, "impl": "analytic"}, repeats)
+        identical = ref["checksum"] == opt["checksum"]
+        ok = ok and identical
+        entries[name] = {
+            "reference_seconds": ref["seconds"],
+            "analytic_seconds": opt["seconds"],
+            "speedup": ref["seconds"] / opt["seconds"] if opt["seconds"] else float("inf"),
+            "checksum": repr(opt["checksum"]),
+            "checksum_identical": identical,
+        }
+        print(f"  {name:20s} {entries[name]['speedup']:6.2f}x  "
+              f"identical={identical}")
+
+    macro_kwargs = {"e01": {"n_blocks": 60}, "e02": {"n_blocks": 60},
+                    "e03": {"nblocks": 1200}} if args.smoke else {}
+    for exp in MACRO_EXPERIMENTS:
+        kwargs = macro_kwargs.get(exp, {})
+        ref = time_workload(experiment_digest, {"experiment": exp, "impl": "reference", **kwargs}, repeats)
+        opt = time_workload(experiment_digest, {"experiment": exp, "impl": "analytic", **kwargs}, repeats)
+        identical = ref["checksum"] == opt["checksum"]
+        ok = ok and identical
+        entries[exp] = {
+            "reference_seconds": ref["seconds"],
+            "analytic_seconds": opt["seconds"],
+            "speedup": ref["seconds"] / opt["seconds"] if opt["seconds"] else float("inf"),
+            "checksum": opt["checksum"],
+            "checksum_identical": identical,
+        }
+        print(f"  {exp:20s} {entries[exp]['speedup']:6.2f}x  identical={identical}")
+
+    if not ok:
+        print("models suite FAILED: checksum drift between reference and "
+              "analytic implementations", file=sys.stderr)
+        return 1
+    if args.smoke:
+        print("  models suite: ok")
+        return 0
+
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "workloads": entries,
+    }
+    out = args.out or "BENCH_models.json"
+    Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--suite", choices=("engine", "report"), default="engine",
-                        help="engine microbenchmarks (default) or full-report "
-                             "regeneration timings")
+    parser.add_argument("--suite", choices=("engine", "report", "models"), default="engine",
+                        help="engine microbenchmarks (default), full-report "
+                             "regeneration timings, or component-model "
+                             "reference-vs-analytic timings")
     parser.add_argument("--save", metavar="PATH", help="write raw timings to PATH")
     parser.add_argument("--baseline", metavar="PATH", help="baseline timings to compare against")
     parser.add_argument("--out", metavar="PATH", default=None,
@@ -175,6 +263,8 @@ def main(argv=None) -> int:
 
     if args.suite == "report":
         return run_report_suite(args)
+    if args.suite == "models":
+        return run_models_suite(args)
 
     from engine_workloads import WORKLOADS
 

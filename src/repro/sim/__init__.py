@@ -21,6 +21,8 @@ from .metrics import (
     AvailabilityMeter,
     LatencyRecorder,
     LatencySummary,
+    P2Quantile,
+    StreamingMoments,
     ThroughputMeter,
     UtilizationMeter,
 )
@@ -53,4 +55,6 @@ __all__ = [
     "LatencySummary",
     "UtilizationMeter",
     "AvailabilityMeter",
+    "StreamingMoments",
+    "P2Quantile",
 ]

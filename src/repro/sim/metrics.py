@@ -6,13 +6,28 @@ load that is processed with acceptable response times."
 :class:`AvailabilityMeter` implements exactly that definition; the other
 meters provide the throughput/latency/utilization views the experiments
 report.
+
+Two recording modes
+-------------------
+
+The latency and availability meters default to *exact* mode: every
+sample is retained, quantiles are computed over the full sorted sample
+set, and every number in EXPERIMENTS.md is reproducible bit for bit.
+For production-scale runs whose sample counts would not fit in memory,
+both accept ``streaming=True``: an O(1)-memory mode built on
+:class:`StreamingMoments` (Welford mean/variance, exact) and
+:class:`P2Quantile` (the Jain & Chlamtac P² estimator, approximate).
+Counts, means, extremes and SLO fractions stay exact in streaming mode;
+only the quantiles are estimates, so keep the default for anything that
+feeds a regression-checked table.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from .engine import Simulator
 
@@ -22,7 +37,147 @@ __all__ = [
     "UtilizationMeter",
     "AvailabilityMeter",
     "LatencySummary",
+    "StreamingMoments",
+    "P2Quantile",
 ]
+
+
+class StreamingMoments:
+    """Welford's online mean/variance: O(1) memory, one pass.
+
+    Numerically stable for arbitrarily long streams — the classic
+    sum/sum-of-squares shortcut cancels catastrophically once the mean
+    dwarfs the spread, which is exactly the regime a week-long
+    production run reaches.  Count, mean, min and max are exact;
+    variance matches the two-pass population variance to float rounding.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def push(self, x: float) -> None:
+        """Fold one observation into the running moments."""
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations so far (0 if empty)."""
+        if self.count == 0:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0 if empty)."""
+        return math.sqrt(self.variance)
+
+
+class P2Quantile:
+    """The P² (piecewise-parabolic) single-quantile estimator.
+
+    Jain & Chlamtac 1985: five markers track the running q-quantile
+    without storing observations.  Until five samples arrive the exact
+    order statistics are kept, so small streams report exact values;
+    beyond that the marker heights are adjusted with a parabolic
+    interpolation and the estimate is approximate (typically within a
+    percent or two for smooth distributions).
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments")
+
+    def __init__(self, q: float):
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        self.q = q
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    @property
+    def count(self) -> int:
+        """Observations folded in so far."""
+        if len(self._heights) < 5:
+            return len(self._heights)
+        return int(self._positions[4])
+
+    def push(self, x: float) -> None:
+        """Fold one observation into the estimator."""
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(x)
+            heights.sort()
+            return
+        # Locate the marker cell containing x, clamping the extremes.
+        if x < heights[0]:
+            heights[0] = x
+            k = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= heights[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            self._positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Nudge the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            d = self._desired[i] - self._positions[i]
+            if (d >= 1.0 and self._positions[i + 1] - self._positions[i] > 1.0) or (
+                d <= -1.0 and self._positions[i - 1] - self._positions[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                self._positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        n, h = self._positions, self._heights
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        n, h = self._positions, self._heights
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current estimate of the q-quantile (0.0 if no observations)."""
+        heights = self._heights
+        if not heights:
+            return 0.0
+        if len(heights) < 5:
+            # Exact small-sample quantile, same interpolation as the
+            # exact recorder.
+            if len(heights) == 1:
+                return heights[0]
+            pos = self.q * (len(heights) - 1)
+            lo = int(math.floor(pos))
+            hi = int(math.ceil(pos))
+            frac = pos - lo
+            return heights[lo] * (1 - frac) + heights[hi] * frac
+        return heights[2]
 
 
 class ThroughputMeter:
@@ -83,22 +238,47 @@ class LatencySummary:
 class LatencyRecorder:
     """Collects per-request latencies and summarises them.
 
-    The sorted view needed by :meth:`quantile` / :meth:`summary` is
-    cached and invalidated on :meth:`record`, so repeated summary calls
-    over a stable sample set cost O(1) instead of re-sorting each time.
+    Exact mode (the default) retains every sample; the sorted view
+    needed by :meth:`quantile` / :meth:`summary` is cached and
+    invalidated on :meth:`record`, so repeated summary calls over a
+    stable sample set cost O(1) instead of re-sorting each time.
     (Mutate samples through :meth:`record` only; writing to ``samples``
     directly bypasses the cache invalidation.)
+
+    ``streaming=True`` switches to O(1) memory for production-scale
+    runs: moments via :class:`StreamingMoments` and one
+    :class:`P2Quantile` per entry of ``quantiles`` (default the
+    p50/p90/p99 that :meth:`summary` reports).  Quantiles are then
+    approximate and :meth:`quantile` only answers the tracked ones;
+    ``samples`` stays empty.
     """
 
-    def __init__(self, name: str = "latency"):
+    def __init__(
+        self,
+        name: str = "latency",
+        streaming: bool = False,
+        quantiles: Sequence[float] = (0.50, 0.90, 0.99),
+    ):
         self.name = name
+        self.streaming = streaming
         self.samples: List[float] = []
         self._sorted: Optional[List[float]] = None
+        self._moments: Optional[StreamingMoments] = None
+        self._estimators: dict = {}
+        if streaming:
+            self._moments = StreamingMoments()
+            for q in quantiles:
+                self._estimators[q] = P2Quantile(q)
 
     def record(self, latency: float) -> None:
         """Record one request latency."""
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
+        if self.streaming:
+            self._moments.push(latency)
+            for estimator in self._estimators.values():
+                estimator.push(latency)
+            return
         self.samples.append(latency)
         self._sorted = None
 
@@ -109,6 +289,8 @@ class LatencyRecorder:
         return self._sorted
 
     def __len__(self) -> int:
+        if self.streaming:
+            return self._moments.count
         return len(self.samples)
 
     @staticmethod
@@ -125,13 +307,50 @@ class LatencyRecorder:
         return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
     def quantile(self, q: float) -> float:
-        """The q-quantile (q in [0, 1]) of recorded latencies."""
+        """The q-quantile (q in [0, 1]) of recorded latencies.
+
+        In streaming mode only the quantiles named at construction are
+        tracked; asking for any other q raises ``ValueError``.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.streaming:
+            estimator = self._estimators.get(q)
+            if estimator is None:
+                raise ValueError(
+                    f"streaming recorder tracks {sorted(self._estimators)}, "
+                    f"not q={q}; list it in `quantiles` at construction"
+                )
+            return estimator.value()
         return self._quantile(self._ordered(), q)
 
     def summary(self) -> LatencySummary:
-        """Full summary of the recorded latencies."""
+        """Full summary of the recorded latencies.
+
+        Exact mode computes every field from the retained samples;
+        streaming mode reads the Welford moments (count/mean/extremes
+        exact, stddev to float rounding) and the P² estimates for any
+        tracked p50/p90/p99 (0.0 for untracked ones).
+        """
+        if self.streaming:
+            moments = self._moments
+            if moments.count == 0:
+                return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+            def estimate(q: float) -> float:
+                estimator = self._estimators.get(q)
+                return estimator.value() if estimator is not None else 0.0
+
+            return LatencySummary(
+                count=moments.count,
+                mean=moments.mean,
+                minimum=moments.minimum,
+                maximum=moments.maximum,
+                p50=estimate(0.50),
+                p90=estimate(0.90),
+                p99=estimate(0.99),
+                stddev=moments.stddev,
+            )
         if not self.samples:
             return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
         ordered = self._ordered()
@@ -188,16 +407,33 @@ class AvailabilityMeter:
     Each offered request is recorded with its response time (or as
     *unserved* if it never completed); availability is the fraction whose
     response time was at most ``slo``.
+
+    Exact mode (the default) retains every response time so
+    :meth:`availability_at` can answer any SLO exactly — via one bisect
+    over a cached sorted view, invalidated on :meth:`record`.
+    ``streaming=True`` drops the per-request list for O(1) memory:
+    :meth:`availability` and the construction-time SLO stay exact, and
+    :meth:`availability_at` interpolates over a P² quantile ladder
+    (approximate; still monotone in the SLO).
     """
 
-    def __init__(self, slo: float, name: str = "availability"):
+    #: Quantile ladder backing the streaming-mode availability curve.
+    _LADDER: Tuple[float, ...] = (0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999)
+
+    def __init__(self, slo: float, name: str = "availability", streaming: bool = False):
         if slo <= 0:
             raise ValueError(f"slo must be > 0, got {slo}")
         self.slo = slo
         self.name = name
+        self.streaming = streaming
         self.offered = 0
         self.within_slo = 0
+        self.unserved = 0
         self.response_times: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._ladder: List[P2Quantile] = (
+            [P2Quantile(q) for q in self._LADDER] if streaming else []
+        )
 
     def record(self, response_time: Optional[float]) -> None:
         """Record one offered request.
@@ -207,11 +443,19 @@ class AvailabilityMeter:
         """
         self.offered += 1
         if response_time is None:
-            self.response_times.append(float("inf"))
+            self.unserved += 1
+            if not self.streaming:
+                self.response_times.append(float("inf"))
+                self._sorted = None
             return
         if response_time < 0:
             raise ValueError(f"response time must be >= 0, got {response_time}")
-        self.response_times.append(response_time)
+        if self.streaming:
+            for estimator in self._ladder:
+                estimator.push(response_time)
+        else:
+            self.response_times.append(response_time)
+            self._sorted = None
         if response_time <= self.slo:
             self.within_slo += 1
 
@@ -221,11 +465,48 @@ class AvailabilityMeter:
             return 1.0
         return self.within_slo / self.offered
 
+    def _ordered(self) -> List[float]:
+        """The cached sorted view of the response times (exact mode)."""
+        if self._sorted is None or len(self._sorted) != len(self.response_times):
+            self._sorted = sorted(self.response_times)
+        return self._sorted
+
     def availability_at(self, slo: float) -> float:
         """Availability recomputed against a different SLO.
 
-        Monotone nondecreasing in ``slo`` by construction.
+        Monotone nondecreasing in ``slo`` by construction.  Exact mode
+        answers with one bisect over the cached sorted response times;
+        streaming mode inverts the P² quantile ladder by linear
+        interpolation (exact at 0 served, approximate between ladder
+        points, never counting unserved requests as available).
         """
         if self.offered == 0:
             return 1.0
-        return sum(1 for r in self.response_times if r <= slo) / self.offered
+        if not self.streaming:
+            return bisect_right(self._ordered(), slo) / self.offered
+        served = self.offered - self.unserved
+        if served == 0:
+            return 0.0
+        served_fraction = served / self.offered
+        # Independent P² estimators can cross by tiny margins; a running
+        # max re-imposes the monotone CDF the interpolation needs.
+        values: List[float] = []
+        for estimator in self._ladder:
+            value = estimator.value()
+            values.append(value if not values else max(value, values[-1]))
+        quantiles = list(zip(values, self._LADDER))
+        # CDF estimate among *served* requests, then scaled by the served
+        # fraction so unserved load always counts as unavailable.
+        if slo < quantiles[0][0]:
+            cdf = 0.0
+        elif slo >= quantiles[-1][0]:
+            cdf = 1.0
+        else:
+            cdf = quantiles[0][1]
+            for (lo_v, lo_q), (hi_v, hi_q) in zip(quantiles, quantiles[1:]):
+                if lo_v <= slo < hi_v:
+                    frac = 0.0 if hi_v == lo_v else (slo - lo_v) / (hi_v - lo_v)
+                    cdf = lo_q + frac * (hi_q - lo_q)
+                    break
+                cdf = hi_q
+        return cdf * served_fraction

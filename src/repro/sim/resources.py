@@ -17,7 +17,7 @@ Three primitives cover every component model in the library:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Optional
 
 from .engine import Callback, Event, SimulationError, Simulator
@@ -133,9 +133,14 @@ class Store:
         return event
 
 
-@dataclass
+@dataclass(slots=True)
 class JobStats:
-    """Completion record returned by :meth:`RateServer.submit` events."""
+    """Completion record returned by :meth:`RateServer.submit` events.
+
+    ``slots=True`` because one of these is allocated per submitted job:
+    it drops the per-instance ``__dict__`` (about 40% smaller, measurably
+    faster to allocate — see TUTORIAL §8).
+    """
 
     size: float
     submitted_at: float
@@ -159,13 +164,12 @@ class JobStats:
         return self.completed_at - self.submitted_at
 
 
-@dataclass
+@dataclass(slots=True)
 class _Job:
     size: float
     remaining: float
     event: Event
     stats: JobStats
-    field: Any = None
 
 
 class RateServer:

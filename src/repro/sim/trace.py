@@ -17,9 +17,9 @@ from .engine import Simulator
 __all__ = ["TraceRecord", "Tracer", "TimeSeries", "Counter"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
-    """One traced occurrence."""
+    """One traced occurrence (slotted: traces allocate one per event)."""
 
     time: float
     kind: str

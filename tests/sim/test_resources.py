@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import RateServer, Resource, SimulationError, Simulator, Store
+from repro.sim import JobStats, RateServer, Resource, SimulationError, Simulator, Store
 
 
 class TestResource:
@@ -325,3 +325,21 @@ class TestRateServer:
         done = server.submit(1.0, tag={"block": 7})
         stats = sim.run(until=done)
         assert stats.tag == {"block": 7}
+
+
+class TestHotRecordSlots:
+    """The per-request records are slotted: one is allocated per job, so
+    a stray attribute write (which __dict__ would silently absorb) is a
+    bug, and the memory savings are part of the perf budget."""
+
+    def test_jobstats_has_no_dict(self):
+        stats = JobStats(size=1.0, submitted_at=0.0)
+        assert not hasattr(stats, "__dict__")
+        with pytest.raises(AttributeError):
+            stats.extra = 1
+
+    def test_jobstats_still_pickles(self):
+        import pickle
+
+        stats = JobStats(size=2.0, submitted_at=1.0, tag=("read", 0, 1))
+        assert pickle.loads(pickle.dumps(stats)) == stats

@@ -1,0 +1,172 @@
+"""Unit tests for the O(1)-memory streaming metrics mode."""
+
+import math
+import random
+
+import pytest
+
+from repro.sim.metrics import (
+    AvailabilityMeter,
+    LatencyRecorder,
+    P2Quantile,
+    StreamingMoments,
+)
+
+
+class TestStreamingMoments:
+    def test_empty(self):
+        m = StreamingMoments()
+        assert m.count == 0
+        assert m.variance == 0.0
+        assert m.stddev == 0.0
+
+    def test_matches_two_pass_exactly_enough(self):
+        rng = random.Random(1)
+        xs = [rng.uniform(-5, 5) for _ in range(1000)]
+        m = StreamingMoments()
+        for x in xs:
+            m.push(x)
+        mean = sum(xs) / len(xs)
+        var = sum((x - mean) ** 2 for x in xs) / len(xs)
+        assert m.count == len(xs)
+        assert m.minimum == min(xs)
+        assert m.maximum == max(xs)
+        assert math.isclose(m.mean, mean, rel_tol=1e-12, abs_tol=1e-12)
+        assert math.isclose(m.variance, var, rel_tol=1e-9)
+
+    def test_stable_under_large_offset(self):
+        """The regime that breaks the sum-of-squares shortcut."""
+        offset = 1e9
+        m = StreamingMoments()
+        naive_sum = naive_sumsq = 0.0
+        values = [offset + x for x in (0.0, 1.0, 2.0, 3.0, 4.0)]
+        for x in values:
+            m.push(x)
+            naive_sum += x
+            naive_sumsq += x * x
+        assert math.isclose(m.variance, 2.0, rel_tol=1e-9)
+        naive_var = naive_sumsq / 5 - (naive_sum / 5) ** 2
+        assert abs(naive_var - 2.0) > 1e-3  # the shortcut really does break
+
+    def test_no_dict(self):
+        assert not hasattr(StreamingMoments(), "__dict__")
+
+
+class TestP2Quantile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P2Quantile(1.5)
+
+    def test_small_samples_exact(self):
+        est = P2Quantile(0.5)
+        assert est.value() == 0.0
+        for x in (3.0, 1.0, 2.0):
+            est.push(x)
+        assert est.value() == 2.0
+        assert est.count == 3
+
+    def test_converges_on_uniform(self):
+        rng = random.Random(42)
+        for q in (0.5, 0.9, 0.99):
+            est = P2Quantile(q)
+            for _ in range(50_000):
+                est.push(rng.random())
+            assert abs(est.value() - q) < 0.02
+            assert est.count == 50_000
+
+    def test_monotone_marker_order(self):
+        rng = random.Random(9)
+        est = P2Quantile(0.9)
+        for _ in range(5000):
+            est.push(rng.expovariate(1.0))
+        assert est._heights == sorted(est._heights)
+
+
+class TestStreamingLatencyRecorder:
+    def test_memory_bounded(self):
+        recorder = LatencyRecorder(streaming=True)
+        for i in range(10_000):
+            recorder.record(i * 1e-4)
+        assert recorder.samples == []  # nothing retained
+        assert len(recorder) == 10_000
+
+    def test_summary_fields(self):
+        recorder = LatencyRecorder(streaming=True)
+        assert recorder.summary().count == 0
+        for x in (1.0, 2.0, 3.0, 4.0):
+            recorder.record(x)
+        s = recorder.summary()
+        assert s.count == 4
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.mean == pytest.approx(2.5)
+        assert s.p50 == pytest.approx(2.5)  # exact below 5 samples
+
+    def test_untracked_quantile_rejected(self):
+        recorder = LatencyRecorder(streaming=True)
+        recorder.record(1.0)
+        assert recorder.quantile(0.9) >= 0.0
+        with pytest.raises(ValueError, match="tracks"):
+            recorder.quantile(0.42)
+
+    def test_custom_quantiles(self):
+        recorder = LatencyRecorder(streaming=True, quantiles=(0.25, 0.75))
+        rng = random.Random(3)
+        for _ in range(20_000):
+            recorder.record(rng.random())
+        assert recorder.quantile(0.25) == pytest.approx(0.25, abs=0.02)
+        assert recorder.quantile(0.75) == pytest.approx(0.75, abs=0.02)
+        # Untracked defaults show up as 0.0 in the summary rather than lying.
+        assert recorder.summary().p99 == 0.0
+
+    def test_negative_rejected_both_modes(self):
+        for streaming in (False, True):
+            recorder = LatencyRecorder(streaming=streaming)
+            with pytest.raises(ValueError):
+                recorder.record(-0.1)
+
+
+class TestStreamingAvailabilityMeter:
+    def test_primary_slo_exact(self):
+        meter = AvailabilityMeter(slo=1.0, streaming=True)
+        for r in (0.5, 0.9, 1.0, 1.5, None):
+            meter.record(r)
+        assert meter.offered == 5
+        assert meter.unserved == 1
+        assert meter.availability() == 3 / 5
+        assert meter.response_times == []  # bounded memory
+
+    def test_empty(self):
+        meter = AvailabilityMeter(slo=1.0, streaming=True)
+        assert meter.availability() == 1.0
+        assert meter.availability_at(0.5) == 1.0
+
+    def test_all_unserved(self):
+        meter = AvailabilityMeter(slo=1.0, streaming=True)
+        meter.record(None)
+        assert meter.availability_at(100.0) == 0.0
+
+    def test_curve_monotone_and_bounded(self):
+        rng = random.Random(77)
+        meter = AvailabilityMeter(slo=0.5, streaming=True)
+        for _ in range(5000):
+            meter.record(None if rng.random() < 0.1 else rng.expovariate(1.0))
+        previous = -1.0
+        for slo in (0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 50.0):
+            a = meter.availability_at(slo)
+            assert 0.0 <= a <= 1.0
+            assert a >= previous
+            previous = a
+        # Unserved load can never be counted available.
+        assert meter.availability_at(1e9) <= 0.9 + 0.01
+
+
+class TestExactModeCachedAvailability:
+    def test_cache_invalidated_on_record(self):
+        meter = AvailabilityMeter(slo=1.0)
+        meter.record(0.4)
+        assert meter.availability_at(0.5) == 1.0
+        meter.record(0.9)  # must invalidate the sorted view
+        assert meter.availability_at(0.5) == 0.5
+        meter.record(None)
+        assert meter.availability_at(0.5) == pytest.approx(1 / 3)
+        assert meter.availability_at(float("inf")) == 1.0

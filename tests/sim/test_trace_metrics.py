@@ -8,6 +8,7 @@ from repro.sim import (
     LatencyRecorder,
     ThroughputMeter,
     TimeSeries,
+    TraceRecord,
     Tracer,
     Simulator,
     UtilizationMeter,
@@ -252,3 +253,23 @@ class TestAvailabilityMeter:
         meter = AvailabilityMeter(slo=1.0)
         with pytest.raises(ValueError):
             meter.record(-0.1)
+
+
+class TestTraceRecordSlots:
+    def test_no_dict_per_record(self):
+        """Traces allocate one record per event; slots keep them small
+        and reject stray attribute writes.  (On some CPython 3.11
+        builds a frozen+slots dataclass raises TypeError rather than
+        FrozenInstanceError — gh-90562 — either way the write fails.)"""
+        rec = TraceRecord(0.0, "kind", "subject")
+        assert not hasattr(rec, "__dict__")
+        with pytest.raises((AttributeError, TypeError)):
+            rec.extra = 1
+        with pytest.raises((AttributeError, TypeError)):
+            rec.kind = "other"
+
+    def test_record_still_pickles_and_compares(self):
+        import pickle
+
+        rec = TraceRecord(1.0, "io", "disk0", detail=("read", 7))
+        assert pickle.loads(pickle.dumps(rec)) == rec

@@ -37,6 +37,13 @@ class TestBadBlockMap:
         with pytest.raises(ValueError):
             BadBlockMap().remap(-3)
 
+    def test_sorted_view_tracks_grown_defects(self):
+        bmap = BadBlockMap([9, 2, 5])
+        assert bmap._sorted == [2, 5, 9]
+        bmap.remap(7)
+        bmap.remap(7)  # idempotent: no duplicate entry
+        assert bmap._sorted == [2, 5, 7, 9]
+
     def test_remapped_in_range(self):
         bmap = BadBlockMap([2, 5, 9, 100])
         assert bmap.remapped_in_range(0, 10) == 3

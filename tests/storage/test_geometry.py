@@ -45,6 +45,46 @@ class TestZoneGeometry:
         with pytest.raises(ValueError):
             ZoneGeometry([])
 
+    def test_span_end(self):
+        geo = ZoneGeometry([Zone(10, 10.0), Zone(20, 5.0)])
+        assert geo.span_end(0) == 10
+        assert geo.span_end(9) == 10
+        assert geo.span_end(10) == 30
+        assert geo.span_end(29) == 30
+        with pytest.raises(ValueError):
+            geo.span_end(30)
+        with pytest.raises(ValueError):
+            geo.span_end(-1)
+
+    def test_zone_index(self):
+        geo = ZoneGeometry([Zone(10, 10.0), Zone(20, 5.0)])
+        assert geo.zone_index(0) == 0
+        assert geo.zone_index(10) == 1
+
+    def test_prefix_table_one_entry_per_boundary(self):
+        geo = ZoneGeometry([Zone(10, 10.0), Zone(20, 5.0)])
+        assert geo._prefix == [0.0, 10 / 10.0, 10 / 10.0 + 20 / 5.0]
+
+    def test_transfer_seconds_single_zone(self):
+        geo = ZoneGeometry([Zone(100, 10.0)])
+        assert geo.transfer_seconds(0, 50) == pytest.approx(5.0)
+        assert geo.transfer_seconds(25, 50, block_size_mb=0.5) == pytest.approx(2.5)
+
+    def test_transfer_seconds_spans_zones(self):
+        geo = ZoneGeometry([Zone(10, 10.0), Zone(10, 5.0)])
+        # 5 blocks at 10 MB/s + 5 blocks at 5 MB/s, 1 MB each.
+        assert geo.transfer_seconds(5, 10) == pytest.approx(0.5 + 1.0)
+        assert geo.transfer_seconds(0, 20) == pytest.approx(1.0 + 2.0)
+
+    def test_transfer_seconds_validation(self):
+        geo = ZoneGeometry([Zone(10, 10.0)])
+        with pytest.raises(ValueError):
+            geo.transfer_seconds(0, 0)
+        with pytest.raises(ValueError):
+            geo.transfer_seconds(5, 6)
+        with pytest.raises(ValueError):
+            geo.transfer_seconds(-1, 2)
+
 
 class TestFactories:
     def test_uniform_geometry_single_zone(self):

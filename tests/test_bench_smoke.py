@@ -56,3 +56,15 @@ def test_perf_report_report_suite_smoke_mode():
     )
     assert result.returncode == 0, result.stdout + result.stderr
     assert "report runner: ok" in result.stdout
+
+
+def test_perf_report_models_suite_smoke_mode():
+    """The models suite runs reduced-size workloads once and verifies the
+    analytic fast paths produce checksums identical to the retained
+    reference implementations."""
+    result = _run(
+        [sys.executable, "scripts/perf_report.py", "--suite", "models", "--smoke"]
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "models suite: ok" in result.stdout
+    assert "identical=False" not in result.stdout
