@@ -18,22 +18,22 @@ Run:  python examples/dht_gc.py
 import random
 
 from repro.cluster import ReplicatedDht
+from repro.core import System
 from repro.faults import PeriodicBackground
-from repro.sim import LatencyRecorder, Simulator
+from repro.sim import LatencyRecorder
 
 N_OPS = 800
 GAP = 0.02  # 50 puts/s offered
 
 
 def run_config(label, with_gc, placement, seed=3):
-    sim = Simulator()
+    sim = System()
     dht = ReplicatedDht(
         sim, n_pairs=4, brick_rate=100.0, op_work=1.0, placement=placement
     )
     if with_gc:
-        PeriodicBackground(period=5.0, duration=1.0, factor=0.0).attach(
-            sim, dht.bricks[0]
-        )
+        # Registry wiring: the GC pause reaches the brick by its name.
+        sim.inject("brick0", PeriodicBackground(period=5.0, duration=1.0, factor=0.0))
     recorder = LatencyRecorder()
     rng = random.Random(seed)
 

@@ -10,7 +10,7 @@ holds (N-1)*B + b.
 Run:  python examples/quickstart.py
 """
 
-from repro.sim import Simulator
+from repro.core import System
 from repro.storage import (
     AdaptiveStriping,
     Disk,
@@ -40,11 +40,13 @@ def build_pairs(sim):
 
 def measure(policy, label):
     """Write D_BLOCKS under `policy` with one performance-faulty disk."""
-    sim = Simulator()
+    sim = System()  # every Disk/Raid1Pair self-registers by name
     pairs = build_pairs(sim)
     # The fault: one disk of the last pair runs at half speed.  It has
-    # NOT failed -- a fail-stop model has no name for this state.
-    pairs[-1].primary.set_slowdown("manufacturing-skew", SLOW_FACTOR)
+    # NOT failed -- a fail-stop model has no name for this state.  The
+    # registry addresses it by name; no need to thread object references.
+    slow = sim.components.get(f"disk{2 * N_PAIRS - 2}")
+    slow.set_slowdown("manufacturing-skew", SLOW_FACTOR)
     result = sim.run(until=policy.run(sim, pairs, D_BLOCKS, block_value=1))
     print(
         f"  {label:<14} {result.throughput_mb_s:6.2f} MB/s   "

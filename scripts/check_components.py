@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Lint: every degradable component class must attach a PerformanceSpec.
+
+The component protocol (DESIGN.md, "Component protocol") requires every
+registered component to carry a spec so detectors can be attached purely
+by name.  The easy way to break that silently is to subclass
+``DegradableMixin`` (or ``CompositeComponent``), write an ``__init__``,
+and forget the spec: the class still works until someone calls
+``System.watch(name)`` on it and gets a ``ValueError`` at runtime.
+
+This checker walks the source tree with :mod:`ast` (no imports, no side
+effects) and flags any class that
+
+* transitively subclasses ``DegradableMixin`` or ``CompositeComponent``
+  (resolved by name across the scanned files), and
+* defines its own ``__init__``, and
+* neither attaches a spec (``self.attach_spec(...)`` /
+  ``self._init_component(...)``, whose ``spec`` argument defaults one)
+  nor delegates to a parent initializer (``super().__init__(...)`` or
+  ``Parent.__init__(self, ...)``) that is itself checked.
+
+Classes that do not define ``__init__`` inherit a checked one and pass.
+
+Usage (from the repo root)::
+
+    python scripts/check_components.py            # lint src/repro
+    python scripts/check_components.py path [...] # lint specific trees
+
+Exit status 0 when clean, 1 with one line per offender otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple
+
+#: Roots of the degradable-component class hierarchy.  Subclassing any of
+#: these (directly or transitively) puts a class under the spec rule.
+COMPONENT_ROOTS = ("DegradableMixin", "CompositeComponent")
+
+#: Calls that attach a spec inside ``__init__``.
+SPEC_ATTACHING_CALLS = ("attach_spec", "_init_component")
+
+
+def _base_name(node: ast.expr) -> str:
+    """Last name segment of a class expression (``a.b.C`` -> ``C``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _bases_of(cls: ast.ClassDef) -> List[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Attribute):
+            names.append(base.attr)
+        elif isinstance(base, ast.Name):
+            names.append(base.id)
+    return names
+
+
+def _collect_classes(paths: Iterable[Path]) -> List[Tuple[Path, ast.ClassDef]]:
+    """Every class definition in every ``.py`` file under ``paths``."""
+    out: List[Tuple[Path, ast.ClassDef]] = []
+    for root in paths:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ClassDef):
+                    out.append((path, node))
+    return out
+
+
+def _component_classes(
+    classes: List[Tuple[Path, ast.ClassDef]]
+) -> Set[str]:
+    """Names of classes transitively rooted at :data:`COMPONENT_ROOTS`.
+
+    Resolution is by simple name: good enough for one source tree where
+    class names are unique, and keeps the checker import-free.
+    """
+    bases: Dict[str, List[str]] = {
+        cls.name: _bases_of(cls) for _, cls in classes
+    }
+    component: Set[str] = set(COMPONENT_ROOTS)
+    changed = True
+    while changed:
+        changed = False
+        for name, base_names in bases.items():
+            if name in component:
+                continue
+            if any(b in component for b in base_names):
+                component.add(name)
+                changed = True
+    return component - set(COMPONENT_ROOTS)
+
+
+def _init_method(cls: ast.ClassDef) -> ast.FunctionDef | None:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == "__init__":
+                return node
+    return None
+
+
+def _attaches_spec(init: ast.FunctionDef, parent_names: List[str]) -> bool:
+    """True if ``__init__`` attaches a spec or delegates to a parent."""
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # self.attach_spec(...) / self._init_component(...)
+            if func.attr in SPEC_ATTACHING_CALLS:
+                return True
+            # super().__init__(...) delegates to a checked parent.
+            if func.attr == "__init__":
+                inner = func.value
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id == "super"
+                ):
+                    return True
+                # Parent.__init__(self, ...) -- explicit delegation.
+                if _base_name(inner) in parent_names:
+                    return True
+    return False
+
+
+def check_paths(paths: Iterable[Path]) -> List[str]:
+    """Lint ``paths``; returns one message per offending class."""
+    classes = _collect_classes(paths)
+    component = _component_classes(classes)
+    problems: List[str] = []
+    for path, cls in classes:
+        if cls.name not in component:
+            continue
+        init = _init_method(cls)
+        if init is None:
+            continue  # inherits a checked initializer
+        parents = _bases_of(cls)
+        # Delegation targets include any ancestor reachable by name.
+        if not _attaches_spec(init, parents + list(COMPONENT_ROOTS)):
+            problems.append(
+                f"{path}:{cls.lineno}: {cls.name} subclasses a degradable "
+                "component but its __init__ never attaches a "
+                "PerformanceSpec (call attach_spec/_init_component or "
+                "delegate to a parent __init__)"
+            )
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    repo_root = Path(__file__).resolve().parent.parent
+    paths = [Path(p) for p in argv] or [repo_root / "src" / "repro"]
+    for path in paths:
+        if not path.exists():
+            print(f"no such path: {path}", file=sys.stderr)
+            return 2
+    problems = check_paths(paths)
+    for problem in problems:
+        print(problem)
+    if problems:
+        return 1
+    classes = _collect_classes(paths)
+    n = sum(1 for _, c in classes if c.name in _component_classes(classes))
+    print(f"OK: {n} component classes attach their spec")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,15 +15,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .experiments import ALL_EXPERIMENTS
+from .experiments import ALL_EXPERIMENTS, experiment_substrates
 from .experiments.report import CLAIMS, generate
 
 
 def _cmd_list() -> int:
+    substrates = experiment_substrates()
+    width = max(len(tag) for tag in substrates.values())
     for key in ALL_EXPERIMENTS:
         claim = CLAIMS.get(key, "")
         first_sentence = claim.split(". ")[0][:90]
-        print(f"{key:<5} {first_sentence}")
+        print(f"{key:<5} {substrates[key]:<{width}}  {first_sentence}")
     return 0
 
 

@@ -25,8 +25,10 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..core.component import CompositeComponent
 from ..faults.component import DegradableServer
 from ..faults.model import ComponentStopped
+from ..faults.spec import PerformanceSpec
 from ..sim.engine import Process, Simulator
 
 __all__ = ["ReplicatedDht", "DhtStats"]
@@ -41,8 +43,10 @@ class DhtStats:
     new_keys: int = 0
 
 
-class ReplicatedDht:
+class ReplicatedDht(CompositeComponent):
     """Mirror-pair replicated key-value bricks."""
+
+    substrate = "cluster"
 
     PLACEMENTS = ("hash", "adaptive")
 
@@ -53,6 +57,7 @@ class ReplicatedDht:
         brick_rate: float = 100.0,
         op_work: float = 1.0,
         placement: str = "hash",
+        name: str = "dht",
     ):
         if n_pairs < 1:
             raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
@@ -70,6 +75,9 @@ class ReplicatedDht:
         self._key_map: Dict[str, int] = {}
         self._values: Dict[str, object] = {}
         self.stats = DhtStats()
+        self._init_component(
+            sim, name, self.bricks, PerformanceSpec(2 * n_pairs * brick_rate)
+        )
 
     # -- placement ------------------------------------------------------------
 

@@ -10,26 +10,56 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..core.component import CompositeComponent
 from ..faults.component import DegradableServer
+from ..faults.model import DegradableMixin, register_component
+from ..faults.spec import PerformanceSpec
 from ..sim.engine import Event, Simulator
 from ..storage.disk import Disk
 
 __all__ = ["Memory", "Node"]
 
 
-class Memory:
+class Memory(DegradableMixin):
     """Physical memory with named reservations.
 
     Reservations may overcommit (that is the point: a memory hog pushes
     the victim's working set out); :meth:`available` never goes below
     zero.
+
+    Memory is a *capacity* component: the degradable "rate" is resident
+    megabytes, so a slowdown factor models capacity loss (a hog claiming
+    pages, a failing DIMM bank) and fail-stop models the DIMM going away
+    entirely.  Pass ``sim`` to give it a clock and register it with a
+    :class:`~repro.core.system.System`.
     """
 
-    def __init__(self, total_mb: float):
+    substrate = "cluster"
+
+    def __init__(self, total_mb: float, sim: Optional[Simulator] = None,
+                 name: str = "memory"):
         if total_mb <= 0:
             raise ValueError(f"total_mb must be > 0, got {total_mb}")
+        self.sim = sim
         self.total_mb = float(total_mb)
         self._reservations: Dict[str, float] = {}
+        self._init_degradable(name, total_mb)
+        self.attach_spec(PerformanceSpec(total_mb))
+        if sim is not None:
+            register_component(sim, self)
+
+    # -- DegradableMixin hooks ---------------------------------------------------
+
+    def _apply_rate(self, rate: float) -> None:
+        pass  # capacity has no queue to re-rate; available() reads it live
+
+    def _now(self) -> float:
+        return self.sim.now if self.sim is not None else 0.0
+
+    @property
+    def effective_mb(self) -> float:
+        """Capacity after fault factors (== total when healthy)."""
+        return self.effective_rate
 
     def reserve(self, owner: str, mb: float) -> None:
         """Set ``owner``'s resident claim to ``mb`` (replaces any prior)."""
@@ -56,16 +86,18 @@ class Memory:
         used = sum(
             mb for owner, mb in self._reservations.items() if owner != excluding
         )
-        return max(0.0, self.total_mb - used)
+        return max(0.0, self.effective_mb - used)
 
     @property
     def pressure(self) -> float:
-        """Reserved over total; above 1.0 means overcommitted."""
-        return self.reserved() / self.total_mb
+        """Reserved over effective capacity; above 1.0 means overcommitted."""
+        return self.reserved() / self.effective_mb
 
 
-class Node:
+class Node(CompositeComponent):
     """One cluster node: CPU + memory (+ optional local disk)."""
+
+    substrate = "cluster"
 
     def __init__(
         self,
@@ -76,14 +108,19 @@ class Node:
         disk: Optional[Disk] = None,
     ):
         self.sim = sim
-        self.name = name
         self.cpu = DegradableServer(sim, f"{name}.cpu", cpu_rate)
-        self.memory = Memory(memory_mb)
+        self.memory = Memory(memory_mb, sim, f"{name}.mem")
         self.disk = disk
+        children = [self.cpu, self.memory] + ([disk] if disk is not None else [])
+        self._init_component(sim, name, children, PerformanceSpec(cpu_rate))
 
     def compute(self, mb: float) -> Event:
         """Process ``mb`` of data on the CPU; fires with JobStats."""
         return self.cpu.submit(mb)
+
+    def delivered_rate(self) -> float:
+        """The CPU's delivered rate (the node spec's own units)."""
+        return self.cpu.delivered_rate()
 
     @property
     def stopped(self) -> bool:

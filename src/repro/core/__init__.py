@@ -11,11 +11,23 @@
   duplicated tasks.
 * :mod:`repro.core.aimd` -- TCP-style rate adaptation.
 * :mod:`repro.core.system` -- the assembled FailStutterSystem and
-  routing policies.
+  routing policies, plus :class:`System` (simulator + component
+  registry + telemetry bus).
+* :mod:`repro.core.component` -- the unified Component protocol,
+  ComponentRegistry, and TelemetryBus.
 """
 
 from .aimd import AimdController, AimdResult, AimdSender
 from .allocation import Allocator, ProportionalAllocator, StaticAllocator, apportion
+from .component import (
+    SUBSTRATES,
+    TELEMETRY_KINDS,
+    Component,
+    ComponentRegistry,
+    CompositeComponent,
+    DetectorBinding,
+    TelemetryBus,
+)
 from .detection import (
     CorrectnessWatchdog,
     Detector,
@@ -42,10 +54,19 @@ from .system import (
     JsqRouter,
     RoundRobinRouter,
     Router,
+    System,
     WeightedRouter,
 )
 
 __all__ = [
+    "SUBSTRATES",
+    "TELEMETRY_KINDS",
+    "Component",
+    "ComponentRegistry",
+    "CompositeComponent",
+    "DetectorBinding",
+    "TelemetryBus",
+    "System",
     "RateEstimator",
     "WindowedRateEstimator",
     "EwmaRateEstimator",

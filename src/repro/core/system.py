@@ -32,17 +32,64 @@ from ..faults.component import DegradableServer
 from ..faults.model import ComponentState, ComponentStopped
 from ..faults.spec import PerformanceSpec
 from ..sim.engine import Event, Simulator
+from ..sim.trace import Tracer
+from .component import ComponentRegistry, DetectorBinding, TelemetryBus
 from .detection import CorrectnessWatchdog, ThresholdDetector
 from .estimator import WindowedRateEstimator
 from .registry import NotificationPolicy, PerformanceStateRegistry
 
 __all__ = [
+    "System",
     "Router",
     "RoundRobinRouter",
     "JsqRouter",
     "WeightedRouter",
     "FailStutterSystem",
 ]
+
+
+class System(Simulator):
+    """A simulator with a system-wide component registry and telemetry bus.
+
+    Drop-in replacement for :class:`~repro.sim.engine.Simulator`: every
+    device constructed against it (a :class:`Disk`, a :class:`Link`, a
+    whole :class:`Raid10`) self-registers into :attr:`components` with
+    its attached :class:`~repro.faults.spec.PerformanceSpec`, so faults
+    and detectors attach purely by name::
+
+        sim = System()
+        Disk(sim, "d0")
+        handle = sim.inject("d0", PeriodicBackground(period=5.0, duration=1.0, factor=0.25))
+        binding = sim.watch("d0")            # ThresholdDetector on d0's spec
+        sim.run(until=100.0)
+        assert binding.faulty
+
+    Pass ``tracer=Tracer(...)`` (or set :attr:`trace` later) to capture
+    the structured telemetry stream (``completion`` / ``spec-violation``
+    / ``state-change`` records) for post-run queries.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        super().__init__()
+        self.telemetry = TelemetryBus(self, tracer)
+        self.components = ComponentRegistry(self, self.telemetry)
+
+    @property
+    def trace(self) -> Optional[Tracer]:
+        """The tracer capturing telemetry records (None by default)."""
+        return self.telemetry.tracer
+
+    @trace.setter
+    def trace(self, tracer: Optional[Tracer]) -> None:
+        self.telemetry.set_tracer(tracer)
+
+    def inject(self, name: str, injector, rng=None):
+        """Attach ``injector`` to the component registered as ``name``."""
+        return self.components.inject(name, injector, rng)
+
+    def watch(self, name: str, detector=None) -> DetectorBinding:
+        """Subscribe a detector to the named component's telemetry stream."""
+        return self.components.watch(name, detector)
 
 
 class Router:

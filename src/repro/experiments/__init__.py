@@ -6,9 +6,12 @@ experiment id to its runner; ``run_all`` regenerates everything (this is
 what EXPERIMENTS.md records).
 """
 
+import inspect
+import sys
 from typing import Callable, Dict, List
 
 from ..analysis.report import Table
+from ..core.component import SUBSTRATES
 from . import (
     a1_notification,
     a2_threshold,
@@ -44,7 +47,7 @@ from . import (
     e25_observer,
 )
 
-__all__ = ["ALL_EXPERIMENTS", "run_all"]
+__all__ = ["ALL_EXPERIMENTS", "experiment_substrates", "run_all"]
 
 ALL_EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "e01": e01_raid10.run,
@@ -80,6 +83,30 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "a6": a6_rebuild.run,
     "a7": a7_hedging.run,
 }
+
+
+def experiment_substrates() -> Dict[str, str]:
+    """Map experiment id -> substrate tag ("storage", "cluster", ...).
+
+    Derived from registry metadata: every component class carries a
+    ``substrate`` class attribute (the same field
+    :meth:`~repro.core.component.ComponentRegistry.by_substrate` groups
+    by), so an experiment's tag is the union of the substrates of the
+    component classes its module references.  Experiments exercising
+    only the generic machinery tag as ``core``.
+    """
+    tags: Dict[str, str] = {}
+    for key, runner in ALL_EXPERIMENTS.items():
+        module = sys.modules[runner.__module__]
+        found = set()
+        for obj in vars(module).values():
+            if not inspect.isclass(obj):
+                continue
+            substrate = getattr(obj, "substrate", None)
+            if substrate in SUBSTRATES and substrate != "core":
+                found.add(substrate)
+        tags[key] = "+".join(sorted(found)) if found else "core"
+    return tags
 
 
 def run_all() -> List[Table]:

@@ -4,6 +4,12 @@ Three detectors watch a component that (a) emits noisy-but-healthy
 completions, then (b) degrades persistently.  Measured per detector:
 false positives during the noisy-healthy phase, and how many
 observations after the true fault until it is flagged.
+
+Wiring: the watched component is registered with a
+:class:`~repro.core.system.System` and every observation goes out as a
+``completion`` record on the telemetry bus; detectors subscribe to the
+component's stream by name (``sim.watch``/``subscribe``) rather than
+being hand-fed -- the same plumbing any experiment gets for free.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ import random
 from ..analysis.report import Table
 from ..core.detection import EwmaDetector, PeerComparisonDetector, ThresholdDetector
 from ..core.estimator import WindowedRateEstimator
+from ..core.system import System
+from ..faults.component import DegradableServer
 from ..faults.spec import PerformanceSpec
 
 __all__ = ["run"]
@@ -30,31 +38,56 @@ def _observation_stream(rng: random.Random, n_healthy: int, n_faulty: int,
 
 
 def _spec_detector_run(detector, observations):
+    sim = System()
+    DegradableServer(sim, "victim", SPEC.nominal_rate, spec=SPEC)
+    # The detector subscribes to the victim's telemetry stream by name.
+    binding = sim.watch("victim", detector)
     false_positives = 0
     detection_after = None
     faulty_seen = 0
     for phase, rate in observations:
-        detector.observe(rate, 1.0)  # rate units of work in 1 s
-        if phase == "healthy" and detector.faulty:
+        sim.telemetry.completion("victim", rate, 1.0)  # rate units of work in 1 s
+        if phase == "healthy" and binding.faulty:
             false_positives += 1
         if phase == "faulty":
             faulty_seen += 1
-            if detection_after is None and detector.faulty:
+            if detection_after is None and binding.faulty:
                 detection_after = faulty_seen
     return false_positives, detection_after
 
 
 def _peer_detector_run(fraction, observations, rng, n_peers=7):
+    sim = System()
+    DegradableServer(sim, "victim", SPEC.nominal_rate, spec=SPEC)
+    for p in range(n_peers):
+        DegradableServer(sim, f"peer{p}", SPEC.nominal_rate, spec=SPEC)
     detector = PeerComparisonDetector(fraction=fraction, min_peers=3)
     est = WindowedRateEstimator(window=8)
+
+    # Peer comparison consumes per-component rates, so each component's
+    # completion stream feeds the detector under its own name.
+    def feed_victim(record):
+        work, duration = record.detail
+        est.observe(work, duration)
+        detector.observe("victim", est.rate())
+
+    sim.telemetry.subscribe("victim", feed_victim)
+    for p in range(n_peers):
+        name = f"peer{p}"
+        sim.telemetry.subscribe(
+            name,
+            lambda record, name=name: detector.observe(
+                name, record.detail[0] / record.detail[1]
+            ),
+        )
+
     false_positives = 0
     detection_after = None
     faulty_seen = 0
     for phase, rate in observations:
-        est.observe(rate, 1.0)
-        detector.observe("victim", est.rate())
+        sim.telemetry.completion("victim", rate, 1.0)
         for p in range(n_peers):
-            detector.observe(f"peer{p}", max(0.1, rng.gauss(10.0, 1.0)))
+            sim.telemetry.completion(f"peer{p}", max(0.1, rng.gauss(10.0, 1.0)), 1.0)
         if phase == "healthy" and detector.is_faulty("victim"):
             false_positives += 1
         if phase == "faulty":

@@ -20,7 +20,7 @@ from typing import Optional, Tuple
 
 from ..analysis.parallel import parallel_sweep
 from ..analysis.report import Table
-from ..sim.engine import Simulator
+from ..core.system import System
 from ..storage.disk import Disk, DiskParams
 from ..storage.geometry import uniform_geometry
 from ..storage.raid import Raid1Pair
@@ -35,7 +35,7 @@ POLICIES = {
 }
 
 
-def _make_pairs(sim: Simulator, n_pairs: int, rate: float):
+def _make_pairs(sim: System, n_pairs: int, rate: float):
     params = DiskParams(rpm=5400, avg_seek=0.011, block_size_mb=0.5)
     pairs = []
     for i in range(n_pairs):
@@ -47,12 +47,15 @@ def _make_pairs(sim: Simulator, n_pairs: int, rate: float):
 
 def _one_run(policy_name: str, scenario: str, n_pairs: int, rate_b: float,
              slow_factor: float, n_blocks: int) -> float:
-    sim = Simulator()
+    sim = System()
     pairs = _make_pairs(sim, n_pairs, rate_b)
+    # Registry wiring: the faulted disk is addressed by registered name,
+    # not by position in the builder's return value.
+    slow_disk = sim.components.get(f"d{2 * n_pairs - 2}")
     if scenario == "static-fault":
-        pairs[-1].primary.set_slowdown("skew", slow_factor)
+        slow_disk.set_slowdown("skew", slow_factor)
     elif scenario == "dynamic-fault":
-        sim.schedule(1.0, pairs[-1].primary.set_slowdown, "skew", slow_factor)
+        sim.schedule(1.0, slow_disk.set_slowdown, "skew", slow_factor)
     policy = POLICIES[policy_name]()
     result = sim.run(until=policy.run(sim, pairs, n_blocks, block_value=1))
     return result.throughput_mb_s

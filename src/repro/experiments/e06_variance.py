@@ -23,9 +23,9 @@ from typing import Optional
 
 from ..analysis.parallel import parallel_sweep
 from ..analysis.report import Table
+from ..core.system import System
 from ..faults.distributions import Exponential, Uniform
 from ..faults.library import TransientStutter
-from ..sim.engine import Simulator
 from ..sim.random import derive_seed
 from ..storage.disk import Disk, DiskParams
 from ..storage.geometry import uniform_geometry
@@ -42,14 +42,19 @@ def _one_benchmark(
     seed: int,
 ) -> float:
     """Bandwidth of one benchmark repetition (independent sweep point)."""
-    sim = Simulator()
+    sim = System()
     params = DiskParams(rpm=5400, avg_seek=0.011, block_size_mb=0.5)
     disk = Disk(sim, "vesta", geometry=uniform_geometry(2_000_000, 5.5), params=params)
-    TransientStutter(
-        interarrival=Exponential(stutter_mean_gap),
-        duration=Exponential(stutter_mean_duration),
-        factor=Uniform(0.1, 0.3),
-    ).attach(sim, disk, random.Random(derive_seed(seed, f"e06/fault/{run_index}")))
+    # Registry wiring: the injector reaches the disk by registered name.
+    sim.inject(
+        "vesta",
+        TransientStutter(
+            interarrival=Exponential(stutter_mean_gap),
+            duration=Exponential(stutter_mean_duration),
+            factor=Uniform(0.1, 0.3),
+        ),
+        random.Random(derive_seed(seed, f"e06/fault/{run_index}")),
+    )
     # Start the benchmark at a random phase of the stutter process (two
     # full mean cycles of headroom), as the next run in a long shared
     # timeline would: some runs begin mid-episode, most in a quiet gap.

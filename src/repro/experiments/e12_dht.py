@@ -17,8 +17,8 @@ from typing import Optional, Tuple
 from ..analysis.parallel import parallel_sweep
 from ..analysis.report import Table
 from ..cluster.dht import ReplicatedDht
+from ..core.system import System
 from ..faults.library import PeriodicBackground
-from ..sim.engine import Simulator
 from ..sim.metrics import LatencyRecorder
 
 __all__ = ["run"]
@@ -48,10 +48,12 @@ def _drive(sim, dht, n_ops: int, gap: float, reuse: float, seed: int) -> Latency
 
 
 def _one(gc: bool, placement: str, n_ops: int, gap: float, seed: int) -> LatencyRecorder:
-    sim = Simulator()
-    dht = ReplicatedDht(sim, n_pairs=4, brick_rate=100.0, op_work=1.0, placement=placement)
+    sim = System()
+    ReplicatedDht(sim, n_pairs=4, brick_rate=100.0, op_work=1.0, placement=placement)
+    dht = sim.components.get("dht")
     if gc:
-        PeriodicBackground(period=5.0, duration=1.0, factor=0.0).attach(sim, dht.bricks[0])
+        # Registry wiring: the GC pause lands on the brick by name.
+        sim.inject("brick0", PeriodicBackground(period=5.0, duration=1.0, factor=0.0))
     # Insert-only, as in the DDS write benchmark: adaptive placement can
     # steer every key, so the contrast with hashing is the policy's full
     # effect.  (Keys already resident on the GC'd pair cannot move; any

@@ -25,10 +25,15 @@ from typing import Optional, Tuple
 
 from ..analysis.parallel import parallel_sweep
 from ..analysis.report import Table
-from ..core.system import FailStutterSystem, JsqRouter, RoundRobinRouter, WeightedRouter
+from ..core.system import (
+    FailStutterSystem,
+    JsqRouter,
+    RoundRobinRouter,
+    System,
+    WeightedRouter,
+)
 from ..faults.component import DegradableServer
 from ..faults.spec import PerformanceSpec
-from ..sim.engine import Simulator
 from ..sim.metrics import AvailabilityMeter
 
 __all__ = ["run"]
@@ -49,22 +54,27 @@ def _run_policy(
     slo: float,
     seed: int,
 ) -> float:
-    sim = Simulator()
+    sim = System()
     use_watchdog = policy == "weighted+T"
     spec = PerformanceSpec(
         nominal_rate=10.0,
         tolerance=0.2,
         correctness_timeout=5.0 if use_watchdog else None,
     )
-    servers = [DegradableServer(sim, f"s{i}", spec.nominal_rate) for i in range(n_servers)]
+    servers = [
+        DegradableServer(sim, f"s{i}", spec.nominal_rate, spec=spec)
+        for i in range(n_servers)
+    ]
     router_cls = ROUTERS["weighted" if use_watchdog else policy]
     system = FailStutterSystem(
         sim, servers, spec, router=router_cls(), use_watchdog=use_watchdog
     )
-    # The fault lands a fifth of the way through the request stream.
+    # The fault lands a fifth of the way through the request stream, on
+    # the last server -- addressed via the registry, not the local list.
     fault_at = n_requests * arrival_gap / 5
     if fault_factor is not None:
-        sim.schedule(fault_at, servers[-1].set_slowdown, "fault", fault_factor)
+        faulted = sim.components.get(f"s{n_servers - 1}")
+        sim.schedule(fault_at, faulted.set_slowdown, "fault", fault_factor)
 
     meter = AvailabilityMeter(slo=slo)
     rng = random.Random(seed)

@@ -38,6 +38,7 @@ from .model import (
     DegradableMixin,
     FaultModel,
     PerformanceFault,
+    register_component,
 )
 from .spec import BandedSpec, PerformanceSpec
 
@@ -49,6 +50,7 @@ __all__ = [
     "PerformanceFault",
     "DegradableMixin",
     "DegradableServer",
+    "register_component",
     "PerformanceSpec",
     "BandedSpec",
     "Distribution",

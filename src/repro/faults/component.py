@@ -14,7 +14,8 @@ from typing import Any, Optional
 
 from ..sim.engine import Event, Simulator
 from ..sim.resources import RateServer
-from .model import ComponentStopped, DegradableMixin
+from .model import ComponentStopped, DegradableMixin, register_component
+from .spec import PerformanceSpec
 
 __all__ = ["DegradableServer"]
 
@@ -29,11 +30,19 @@ class DegradableServer(DegradableMixin):
     same exception so waiters learn of the failure.
     """
 
-    def __init__(self, sim: Simulator, name: str, nominal_rate: float):
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        nominal_rate: float,
+        spec: Optional[PerformanceSpec] = None,
+    ):
         self.sim = sim
         self._server = RateServer(sim, nominal_rate, name=name)
         self._init_degradable(name, nominal_rate)
         self._inflight: list[Event] = []
+        self.attach_spec(spec if spec is not None else PerformanceSpec(nominal_rate))
+        register_component(sim, self)
 
     # -- DegradableMixin hooks -------------------------------------------------
 
@@ -55,7 +64,23 @@ class DegradableServer(DegradableMixin):
         event = self._server.submit(size, tag=tag)
         self._inflight.append(event)
         event.callbacks.append(self._forget)
+        # Completion telemetry is pay-for-what-you-use: the callback is
+        # only attached when a bus is bound AND someone listens to us.
+        telemetry = self._telemetry
+        if (
+            telemetry is not None
+            and telemetry.active
+            and telemetry.wants(self.name)
+        ):
+            event.callbacks.append(self._report_completion)
         return event
+
+    def _report_completion(self, event: Event) -> None:
+        """Publish (work, duration) for one finished job on the bus."""
+        if not event._ok:
+            return
+        stats = event._value
+        self._telemetry.completion(self.name, stats.size, stats.service_time)
 
     def _forget(self, event: Event) -> None:
         """Drop a settled job from the in-flight list (idempotent)."""

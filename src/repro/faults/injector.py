@@ -29,14 +29,37 @@ _injector_ids = itertools.count()
 class InjectorHandle:
     """A started injector: the processes driving faults on a target."""
 
-    def __init__(self, injector: "FaultInjector", processes: List[Process]):
+    def __init__(
+        self,
+        injector: "FaultInjector",
+        processes: List[Process],
+        targets: Optional[List[DegradableMixin]] = None,
+    ):
         self.injector = injector
         self.processes = processes
+        #: Components this handle's fault process acts on (used by
+        #: ``cancel(restore=True)`` to clear the injector's channels).
+        self.targets: List[DegradableMixin] = list(targets or [])
+        #: Child handles, when this handle fronts a composite injector.
+        self.children: List["InjectorHandle"] = []
         self.cancelled = False
 
-    def cancel(self) -> None:
-        """Stop injecting (already-applied slowdowns are left as-is)."""
+    def cancel(self, restore: bool = True) -> None:
+        """Stop injecting; by default also undo applied slowdowns.
+
+        With ``restore=True`` (the default) every slowdown channel this
+        injector owns is cleared from its targets, so a cancelled fault
+        actually ends instead of freezing the component at its last
+        degraded rate.  Pass ``restore=False`` for the old behaviour
+        (stop driving, leave the applied factors in place).  Cancellation
+        cascades to child handles of a composite injector.
+        """
         self.cancelled = True
+        for child in self.children:
+            child.cancel(restore)
+        if restore:
+            for target in self.targets:
+                target.clear_slowdown(self.injector.source)
 
 
 class FaultInjector:
@@ -63,7 +86,7 @@ class FaultInjector:
     ) -> InjectorHandle:
         """Start injecting faults into ``target``; returns a handle."""
         rng = rng or random.Random(0)
-        handle = InjectorHandle(self, [])
+        handle = InjectorHandle(self, [], [target])
         process = sim.process(self._drive(sim, target, rng, tracer, handle))
         handle.processes.append(process)
         return handle
@@ -104,9 +127,10 @@ class CompositeInjector(FaultInjector):
         self.injectors = list(injectors)
 
     def attach(self, sim, target, rng=None, tracer=None) -> InjectorHandle:
-        handle = InjectorHandle(self, [])
+        handle = InjectorHandle(self, [], [target])
         for injector in self.injectors:
             child = injector.attach(sim, target, rng, tracer)
+            handle.children.append(child)
             handle.processes.extend(child.processes)
         return handle
 

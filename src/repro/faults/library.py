@@ -203,7 +203,7 @@ class CorrelatedGroupFault(FaultInjector):
         if not targets:
             raise ValueError("need at least one target")
         rng = rng or random.Random(0)
-        handle = InjectorHandle(self, [])
+        handle = InjectorHandle(self, [], list(targets))
         process = sim.process(self._drive_group(sim, list(targets), rng, tracer, handle))
         handle.processes.append(process)
         return handle

@@ -33,7 +33,23 @@ __all__ = [
     "CorrectnessFault",
     "ComponentStopped",
     "DegradableMixin",
+    "register_component",
 ]
+
+
+def register_component(sim, component) -> None:
+    """Register ``component`` with ``sim``'s component registry, if any.
+
+    Duck-typed on purpose: a plain :class:`~repro.sim.engine.Simulator`
+    has no ``components`` attribute and the call is a no-op, while a
+    :class:`~repro.core.system.System` exposes a
+    :class:`~repro.core.component.ComponentRegistry` there.  Keeping the
+    check structural lets the fault layer stay import-free of
+    ``repro.core`` (which imports back into this package).
+    """
+    registry = getattr(sim, "components", None)
+    if registry is not None:
+        registry.register(component)
 
 
 class FaultModel(enum.Enum):
@@ -114,7 +130,26 @@ class DegradableMixin:
         disk.set_slowdown("skew", 0.9)       # permanently 90% of nominal
         disk.set_slowdown("recal", 0.0)      # stalled while recalibrating
         disk.clear_slowdown("recal")         # skew still in effect
+
+    The mixin is also the atomic form of the system-wide ``Component``
+    protocol (:mod:`repro.core.component`): it carries a substrate tag,
+    an attached :class:`~repro.faults.spec.PerformanceSpec`, and a
+    ``delivered_rate()`` telemetry hook, and state changes are emitted on
+    the system telemetry bus when one is bound.
     """
+
+    #: Which modeled hardware substrate the component belongs to
+    #: (storage / network / processor / cluster); ``core`` for the
+    #: mechanism layer itself.  Class attribute so subclasses override
+    #: it declaratively.
+    substrate = "core"
+
+    #: Attached performance specification (None until :meth:`attach_spec`).
+    spec = None
+
+    #: Bound telemetry bus (None outside a ``System``); kept as a class
+    #: attribute so plain-Simulator components pay one attribute load.
+    _telemetry = None
 
     def _init_degradable(self, name: str, nominal_rate: float) -> None:
         if nominal_rate <= 0:
@@ -125,6 +160,38 @@ class DegradableMixin:
         self._stopped = False
         self.fault_log: List[Any] = []
         self._open_episodes: Dict[str, PerformanceFault] = {}
+
+    # -- component protocol ---------------------------------------------------
+
+    def attach_spec(self, spec):
+        """Attach (or replace) this component's performance spec; returns self."""
+        self.spec = spec
+        return self
+
+    def bind_telemetry(self, bus) -> None:
+        """Connect this component to a system telemetry bus."""
+        self._telemetry = bus
+
+    def delivered_rate(self) -> float:
+        """Currently delivered service rate (the telemetry observable).
+
+        The mixin's honest answer is the effective rate; subclasses with
+        a richer notion of delivered work (e.g. positional bandwidth)
+        override this.
+        """
+        return self.effective_rate
+
+    def _emit_telemetry_state(self) -> None:
+        """Publish a state change (and any spec violation) on the bus."""
+        bus = self._telemetry
+        if bus is None or not bus.wants(self.name):
+            return
+        bus.emit("state-change", self.name, {"state": self.state.value})
+        spec = self.spec
+        if spec is not None:
+            delivered = self.delivered_rate()
+            if delivered < spec.fault_threshold_rate:
+                bus.spec_violation(self.name, delivered, spec.fault_threshold_rate)
 
     # -- subclass hook --------------------------------------------------------
 
@@ -190,6 +257,8 @@ class DegradableMixin:
                 component=self.name, start=self._now(), factor=factor, source=source
             )
         self._apply_rate(self.effective_rate)
+        if self._telemetry is not None:
+            self._emit_telemetry_state()
 
     def clear_slowdown(self, source: str) -> None:
         """Remove channel ``source`` (no-op if absent)."""
@@ -199,6 +268,8 @@ class DegradableMixin:
                 self._close_episode(source)
             if not self._stopped:
                 self._apply_rate(self.effective_rate)
+            if self._telemetry is not None:
+                self._emit_telemetry_state()
 
     def stop(self, cause: str = "fail-stop") -> None:
         """Absolute failure: the component halts, permanently and detectably."""
@@ -209,6 +280,8 @@ class DegradableMixin:
         self._stopped = True
         self.fault_log.append(CorrectnessFault(component=self.name, time=self._now(), cause=cause))
         self._apply_rate(0.0)
+        if self._telemetry is not None:
+            self._emit_telemetry_state()
 
     def active_slowdowns(self) -> Dict[str, float]:
         """Snapshot of the active slowdown channels."""

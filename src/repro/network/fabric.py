@@ -15,18 +15,27 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Tuple
 
+from ..core.component import CompositeComponent
+from ..faults.spec import PerformanceSpec
 from ..sim.engine import Process, Simulator
 from .link import Link
 
 __all__ = ["Fabric"]
 
 
-class Fabric:
+class Fabric(CompositeComponent):
     """Named nodes joined by bidirectional links, with BFS routing."""
 
-    def __init__(self, sim: Simulator):
+    substrate = "network"
+
+    def __init__(self, sim: Simulator, name: str = "fabric"):
         self.sim = sim
         self._adjacency: Dict[str, Dict[str, Link]] = {}
+        self._init_component(sim, name, [])
+
+    def _component_children(self) -> List[Link]:
+        # Live view: the directed links added so far.
+        return [link for peers in self._adjacency.values() for link in peers.values()]
 
     # -- construction -----------------------------------------------------------
 
@@ -50,6 +59,12 @@ class Fabric:
         backward = Link(self.sim, f"{b}->{a}", bandwidth, latency)
         self._adjacency[a][b] = forward
         self._adjacency[b][a] = backward
+        # The fabric's contract grows with its capacity.
+        self.attach_spec(
+            PerformanceSpec(
+                sum(l.spec.nominal_rate for l in self._component_children())
+            )
+        )
         return forward, backward
 
     def link(self, a: str, b: str) -> Link:

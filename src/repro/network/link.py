@@ -19,10 +19,13 @@ __all__ = ["Link"]
 class Link(DegradableServer):
     """A unidirectional link with bandwidth and propagation latency."""
 
-    def __init__(self, sim: Simulator, name: str, bandwidth: float, latency: float = 0.0):
+    substrate = "network"
+
+    def __init__(self, sim: Simulator, name: str, bandwidth: float, latency: float = 0.0,
+                 spec=None):
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
-        super().__init__(sim, name, nominal_rate=bandwidth)
+        super().__init__(sim, name, nominal_rate=bandwidth, spec=spec)
         self.latency = latency
 
     @property

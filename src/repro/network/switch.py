@@ -30,7 +30,9 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+from ..core.component import CompositeComponent
 from ..faults.component import DegradableServer
+from ..faults.spec import PerformanceSpec
 from ..sim.engine import Event, Simulator
 from ..sim.trace import Tracer
 
@@ -87,14 +89,18 @@ class _Packet:
     core_done: Event = None  # type: ignore[assignment]
 
 
-class Switch:
+class Switch(CompositeComponent):
     """An output-queued switch with a shared buffer pool.
 
     ``favored_ports`` marks source ports that win core arbitration when
     the switch is loaded (the unfairness fault); leave empty for a fair
     switch.  Fault injectors may target :attr:`core`, any of
-    :attr:`ports` or :attr:`receivers` -- all are degradable servers.
+    :attr:`ports` or :attr:`receivers` -- all are degradable servers
+    (registered as ``{name}.core`` / ``{name}.port{i}`` / ``{name}.rx{i}``)
+    -- or the switch itself by its registered ``name``.
     """
+
+    substrate = "network"
 
     def __init__(
         self,
@@ -102,6 +108,7 @@ class Switch:
         config: SwitchConfig = SwitchConfig(),
         favored_ports: Optional[Set[int]] = None,
         tracer: Optional[Tracer] = None,
+        name: str = "switch",
     ):
         self.sim = sim
         self.config = config
@@ -109,15 +116,22 @@ class Switch:
         if any(not 0 <= p < config.n_ports for p in self.favored_ports):
             raise ValueError("favored port out of range")
         self.tracer = tracer
-        self.core = DegradableServer(sim, "switch.core", config.core_rate)
+        self.core = DegradableServer(sim, f"{name}.core", config.core_rate)
         self.ports: List[DegradableServer] = [
-            DegradableServer(sim, f"switch.port{i}", config.port_rate)
+            DegradableServer(sim, f"{name}.port{i}", config.port_rate)
             for i in range(config.n_ports)
         ]
         self.receivers: List[DegradableServer] = [
-            DegradableServer(sim, f"switch.rx{i}", config.receiver_rate)
+            DegradableServer(sim, f"{name}.rx{i}", config.receiver_rate)
             for i in range(config.n_ports)
         ]
+        # The crossbar is the switch's aggregate capacity contract.
+        self._init_component(
+            sim,
+            name,
+            [self.core] + self.ports + self.receivers,
+            PerformanceSpec(config.core_rate),
+        )
         self._seq = itertools.count()
         self._free_slots = config.buffer_packets
         self._slot_waiters: List[Event] = []
@@ -127,6 +141,10 @@ class Switch:
         self.deadlock_events = 0
         self.packets_switched = 0
         sim.process(self._arbiter())
+
+    def delivered_rate(self) -> float:
+        """The crossbar's delivered bandwidth (the spec's own units)."""
+        return self.core.delivered_rate()
 
     # -- public surface ------------------------------------------------------------
 

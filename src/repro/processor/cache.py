@@ -49,6 +49,9 @@ class CacheConfig:
 class Cache:
     """Trace-driven set-associative cache with LRU and fault masking."""
 
+    #: Substrate tag (metadata; wrap in a CacheComponent for the full surface).
+    substrate = "processor"
+
     def __init__(self, config: CacheConfig = CacheConfig()):
         self.config = config
         # Per set: list of (tag) in LRU order, most recent last.

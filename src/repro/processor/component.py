@@ -1,0 +1,159 @@
+"""Spec-bearing adapters for the processor cost models.
+
+The processor substrate (cache, banked memory, TLB) is *trace-driven*:
+its models count hits, misses and cycles, with no simulation clock or
+FIFO queue.  That kept them out of the fault-injection and detection
+machinery -- exactly the gap the fail-stutter argument warns about,
+since the substrate's evidence (masked Viking caches, slow DIMMs,
+nondeterministic TLBs) is all about "identical" parts delivering
+different performance.
+
+These adapters wrap a cost model in the Component protocol: a
+:class:`~repro.faults.model.DegradableMixin` fault surface, an attached
+:class:`~repro.faults.spec.PerformanceSpec` in accesses-per-cycle, and a
+``delivered_rate()`` computed from the cycles the model actually
+charged.  Runs route through the adapter (:meth:`CacheComponent.run`
+etc.); injected slowdowns stretch the charged cycles, so a fault
+injector attached by name degrades the measured rate and a
+``ThresholdDetector`` watching the telemetry stream flags it -- the same
+loop every other substrate uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..faults.model import DegradableMixin, register_component
+from ..faults.spec import PerformanceSpec
+from .cache import Cache, RunCost, run_trace
+from .membank import BankedMemory, StreamResult, run_stream
+from .tlb import Tlb
+
+__all__ = [
+    "ProcessorComponent",
+    "CacheComponent",
+    "MemBankComponent",
+    "TlbComponent",
+]
+
+
+class ProcessorComponent(DegradableMixin):
+    """Component surface over a trace-driven cost model.
+
+    ``nominal_rate`` is the ideal throughput in accesses per cycle (e.g.
+    ``1 / hit_cycles`` for a cache that never misses).  Subclasses call
+    :meth:`_record` after each run: the charged cycles are stretched by
+    any active slowdown factors (an injected fault makes every access
+    slower), the counters accumulate, and a completion record goes out
+    on the telemetry bus so detectors can watch the model by name.
+    """
+
+    substrate = "processor"
+
+    def __init__(self, sim, name: str, nominal_rate: float,
+                 spec: Optional[PerformanceSpec] = None):
+        self.sim = sim
+        self._init_degradable(name, nominal_rate)
+        self.attach_spec(spec if spec is not None else PerformanceSpec(nominal_rate))
+        self.work_done = 0.0
+        self.cycles_charged = 0.0
+        register_component(sim, self)
+
+    # -- DegradableMixin hooks -------------------------------------------------
+
+    def _apply_rate(self, rate: float) -> None:
+        pass  # no queue to re-rate; slowdowns stretch charged cycles instead
+
+    def _now(self) -> float:
+        return self.sim.now
+
+    # -- accounting --------------------------------------------------------------
+
+    def _record(self, work: float, cycles: float) -> float:
+        """Account one run; returns the (possibly stretched) cycle charge."""
+        factor = self.effective_rate / self.nominal_rate
+        charged = cycles / factor if factor > 0 else float("inf")
+        self.work_done += work
+        self.cycles_charged += charged
+        if self._telemetry is not None and self._telemetry.wants(self.name):
+            self._telemetry.completion(self.name, work, charged)
+        return charged
+
+    def delivered_rate(self) -> float:
+        """Measured accesses per cycle (effective rate before any run)."""
+        if self.cycles_charged > 0:
+            return self.work_done / self.cycles_charged
+        return self.effective_rate
+
+
+class CacheComponent(ProcessorComponent):
+    """A :class:`~repro.processor.cache.Cache` with the component surface.
+
+    The spec's nominal rate is ``1 / hit_cycles``: an unmasked cache
+    serving its working set from the array.  A masked part (the Viking
+    case) misses more, charges more cycles, and delivers measurably
+    below spec.
+    """
+
+    def __init__(self, sim, cache: Cache, name: str = "cache",
+                 hit_cycles: int = 1, miss_cycles: int = 20,
+                 spec: Optional[PerformanceSpec] = None):
+        if hit_cycles <= 0 or miss_cycles <= 0:
+            raise ValueError("cycle costs must be > 0")
+        super().__init__(sim, name, 1.0 / hit_cycles, spec)
+        self.cache = cache
+        self.hit_cycles = hit_cycles
+        self.miss_cycles = miss_cycles
+
+    def run(self, trace: Iterable[int]) -> RunCost:
+        """Replay ``trace`` through the cache, accounting charged cycles."""
+        cost = run_trace(self.cache, trace, self.hit_cycles, self.miss_cycles)
+        self._record(cost.accesses, cost.cycles)
+        return cost
+
+
+class MemBankComponent(ProcessorComponent):
+    """A :class:`~repro.processor.membank.BankedMemory` with the surface.
+
+    Nominal rate: one reference per cycle (perfectly interleaved vector
+    access).  Bank conflicts -- or an injected slowdown -- stall below it.
+    """
+
+    def __init__(self, sim, memory: BankedMemory, name: str = "membank",
+                 spec: Optional[PerformanceSpec] = None):
+        super().__init__(sim, name, 1.0, spec)
+        self.memory = memory
+
+    def run(self, stream: Iterable[int]) -> StreamResult:
+        """Issue ``stream`` through the banks, accounting charged cycles."""
+        result = run_stream(self.memory, stream)
+        self._record(result.references, result.cycles)
+        return result
+
+
+class TlbComponent(ProcessorComponent):
+    """A :class:`~repro.processor.tlb.Tlb` with the component surface.
+
+    Nominal rate: ``1 / hit_cycles`` translations per cycle; each miss
+    pays ``miss_cycles`` for the walk.
+    """
+
+    def __init__(self, sim, tlb: Tlb, name: str = "tlb",
+                 hit_cycles: int = 1, miss_cycles: int = 30,
+                 spec: Optional[PerformanceSpec] = None):
+        if hit_cycles <= 0 or miss_cycles <= 0:
+            raise ValueError("cycle costs must be > 0")
+        super().__init__(sim, name, 1.0 / hit_cycles, spec)
+        self.tlb = tlb
+        self.hit_cycles = hit_cycles
+        self.miss_cycles = miss_cycles
+
+    def run(self, pages: Iterable[int]) -> int:
+        """Translate ``pages``, accounting charged cycles; returns cycles."""
+        cycles = 0
+        count = 0
+        for page in pages:
+            cycles += self.hit_cycles if self.tlb.translate(page) else self.miss_cycles
+            count += 1
+        self._record(count, cycles)
+        return cycles

@@ -24,6 +24,9 @@ __all__ = ["BankedMemory", "StreamResult", "run_stream", "perturbed_stream"]
 class BankedMemory:
     """Interleaved banks with a fixed recovery time."""
 
+    #: Substrate tag (metadata; wrap in a MemBankComponent for the full surface).
+    substrate = "processor"
+
     def __init__(self, n_banks: int = 8, bank_busy: int = 8):
         if n_banks < 1 or bank_busy < 1:
             raise ValueError("n_banks and bank_busy must be >= 1")

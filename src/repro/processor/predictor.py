@@ -37,6 +37,8 @@ class NextFieldPredictor:
 
     POLICIES = ("always", "sticky")
 
+    substrate = "processor"
+
     def __init__(self, n_lines: int, rng: random.Random, update: str = "always",
                  target_space: int = 16):
         if n_lines < 1:

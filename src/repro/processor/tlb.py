@@ -24,6 +24,9 @@ __all__ = ["Tlb", "divergence"]
 class Tlb:
     """A fully-associative TLB of ``entries`` page translations."""
 
+    #: Substrate tag (metadata; wrap in a TlbComponent for the full surface).
+    substrate = "processor"
+
     POLICIES = ("lru", "random")
 
     def __init__(

@@ -14,7 +14,22 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from .engine import Simulator
 
-__all__ = ["TraceRecord", "Tracer", "TimeSeries", "Counter"]
+__all__ = [
+    "COMPLETION",
+    "SPEC_VIOLATION",
+    "STATE_CHANGE",
+    "TraceRecord",
+    "Tracer",
+    "TimeSeries",
+    "Counter",
+]
+
+#: Structured telemetry kinds emitted by registered components (see
+#: :mod:`repro.core.component`).  Kept here so trace consumers can filter
+#: without importing the component layer.
+COMPLETION = "completion"
+SPEC_VIOLATION = "spec-violation"
+STATE_CHANGE = "state-change"
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +60,12 @@ class Tracer:
         if not self.enabled:
             return
         self.records.append(TraceRecord(self.sim.now, kind, subject, detail))
+
+    def emit_record(self, record: TraceRecord) -> None:
+        """Append an already-built record (telemetry-bus fan-in path)."""
+        if not self.enabled:
+            return
+        self.records.append(record)
 
     def select(
         self,

@@ -20,7 +20,9 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..core.component import CompositeComponent
 from ..faults.distributions import Distribution, Exponential, Fixed
+from ..faults.spec import PerformanceSpec
 from ..sim.engine import Simulator
 from ..sim.trace import Tracer
 from .disk import Disk
@@ -83,7 +85,7 @@ class BusError:
     duration: float = 0.0
 
 
-class ScsiBus:
+class ScsiBus(CompositeComponent):
     """A SCSI chain: disks plus a shared error/reset process.
 
     Parameters
@@ -98,6 +100,8 @@ class ScsiBus:
         Error classification weights (default: the study's observed mix).
     """
 
+    substrate = "storage"
+
     def __init__(
         self,
         sim: Simulator,
@@ -107,11 +111,18 @@ class ScsiBus:
         mix: ErrorMix = TALAGALA_MIX,
         rng: Optional[random.Random] = None,
         tracer: Optional[Tracer] = None,
+        name: str = "",
     ):
         if not disks:
             raise ValueError("a chain needs at least one disk")
         self.sim = sim
         self.disks: List[Disk] = list(disks)
+        self._init_component(
+            sim,
+            name or f"scsi({','.join(d.name for d in self.disks)})",
+            self.disks,
+            PerformanceSpec(sum(d.spec.nominal_rate for d in self.disks)),
+        )
         self.error_interarrival = error_interarrival
         self.reset_duration = reset_duration
         self.mix = mix
@@ -148,9 +159,15 @@ class ScsiBus:
             for disk in self.disks:
                 disk.clear_slowdown(self._source)
 
-    def stop(self) -> None:
-        """Stop generating new errors (an in-progress reset completes)."""
+    def stop(self, cause: Optional[str] = None) -> None:
+        """Without ``cause``: stop generating new errors (an in-progress
+        reset completes), the historical control-surface call.  With a
+        ``cause`` (the Component fail-stop path, e.g. a ``FailStopAt``
+        injector attached by name): also fail-stop every disk on the chain.
+        """
         self._running = False
+        if cause is not None:
+            CompositeComponent.stop(self, cause)
 
     # -- accounting views ------------------------------------------------------
 

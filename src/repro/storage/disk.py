@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..faults.component import DegradableServer
+from ..faults.spec import PerformanceSpec
 from ..sim.engine import Event, Simulator
 from .badblocks import BadBlockMap
 from .geometry import ZoneGeometry, uniform_geometry
@@ -88,6 +89,8 @@ class Disk(DegradableServer):
     fragmented layouts slower (E13).
     """
 
+    substrate = "storage"
+
     def __init__(
         self,
         sim: Simulator,
@@ -95,10 +98,14 @@ class Disk(DegradableServer):
         geometry: Optional[ZoneGeometry] = None,
         params: DiskParams = HAWK_PARAMS,
         badblocks: Optional[BadBlockMap] = None,
+        spec: Optional[PerformanceSpec] = None,
     ):
-        # Work unit = nominal service seconds, served at 1.0 per second.
-        super().__init__(sim, name, nominal_rate=1.0)
         self.geometry = geometry or uniform_geometry(1_000_000, 5.5)
+        # Work unit = nominal service seconds, served at 1.0 per second.
+        # The default spec lives in the same units (delivered service
+        # seconds per second), matching the completion telemetry; MB/s
+        # views stay available as nominal/effective_bandwidth.
+        super().__init__(sim, name, nominal_rate=1.0, spec=spec)
         self.params = params
         self.badblocks = badblocks or BadBlockMap()
         self._head: Optional[int] = None  # lba following the last request

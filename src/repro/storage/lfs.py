@@ -55,6 +55,8 @@ class LfsStats:
 class LogFs:
     """An append-only log over one disk, with a background cleaner."""
 
+    substrate = "storage"
+
     def __init__(self, sim: Simulator, disk: Disk, config: LfsConfig = LfsConfig()):
         needed = config.segment_blocks * config.n_segments
         if disk.geometry.capacity_blocks < needed:

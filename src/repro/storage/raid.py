@@ -24,11 +24,18 @@ from __future__ import annotations
 
 from typing import Any, List, Sequence, Tuple
 
+from ..core.component import CompositeComponent
 from ..faults.model import ComponentStopped
+from ..faults.spec import PerformanceSpec
 from ..sim.engine import Event, Process, Simulator
 from .disk import Disk
 
 __all__ = ["Raid0", "Raid1Pair", "Raid10", "Raid5"]
+
+
+def _member_spec_sum(disks: Sequence[Disk]) -> PerformanceSpec:
+    """Aggregate spec for a striped array: sum of member nominal rates."""
+    return PerformanceSpec(sum(d.spec.nominal_rate for d in disks))
 
 
 def _xor(*values: Any) -> int:
@@ -39,10 +46,13 @@ def _xor(*values: Any) -> int:
     return out
 
 
-class Raid0:
+class Raid0(CompositeComponent):
     """Block-striped array with no redundancy."""
 
-    def __init__(self, sim: Simulator, disks: Sequence[Disk], stripe_unit: int = 1):
+    substrate = "storage"
+
+    def __init__(self, sim: Simulator, disks: Sequence[Disk], stripe_unit: int = 1,
+                 name: str = ""):
         if len(disks) < 2:
             raise ValueError("striping needs >= 2 disks")
         if stripe_unit < 1:
@@ -50,6 +60,12 @@ class Raid0:
         self.sim = sim
         self.disks: List[Disk] = list(disks)
         self.stripe_unit = stripe_unit
+        self._init_component(
+            sim,
+            name or f"raid0({','.join(d.name for d in self.disks)})",
+            self.disks,
+            _member_spec_sum(self.disks),
+        )
 
     @property
     def width(self) -> int:
@@ -84,15 +100,32 @@ class Raid0:
         return self.sim.all_of([self.write(b, value) for b in blocks])
 
 
-class Raid1Pair:
+class Raid1Pair(CompositeComponent):
     """A mirrored pair of disks."""
+
+    substrate = "storage"
 
     def __init__(self, sim: Simulator, primary: Disk, secondary: Disk, name: str = ""):
         self.sim = sim
         self.primary = primary
         self.secondary = secondary
-        self.name = name or f"pair({primary.name},{secondary.name})"
         self._read_toggle = 0
+        # The mirrored-write rate is gated by the slowest member, so the
+        # pair's spec is the min over members, not the sum.
+        self._init_component(
+            sim,
+            name or f"pair({primary.name},{secondary.name})",
+            [],
+            PerformanceSpec(min(d.spec.nominal_rate for d in (primary, secondary))),
+        )
+
+    def _component_children(self) -> List[Disk]:
+        # Live view: reconstruction swaps a spare in for a dead member.
+        return [self.primary, self.secondary]
+
+    def delivered_rate(self) -> float:
+        """Mirrored-write delivery: the slowest live member's rate."""
+        return self.effective_rate
 
     @property
     def disks(self) -> Tuple[Disk, Disk]:
@@ -179,14 +212,22 @@ class Raid1Pair:
         return live[0].peek(lba) == live[1].peek(lba)
 
 
-class Raid10:
+class Raid10(CompositeComponent):
     """Mirrored pairs, striped RAID-0 style (the Section 3.2 layout)."""
 
-    def __init__(self, sim: Simulator, pairs: Sequence[Raid1Pair]):
+    substrate = "storage"
+
+    def __init__(self, sim: Simulator, pairs: Sequence[Raid1Pair], name: str = ""):
         if len(pairs) < 2:
             raise ValueError("RAID-10 needs >= 2 mirror pairs")
         self.sim = sim
         self.pairs: List[Raid1Pair] = list(pairs)
+        self._init_component(
+            sim,
+            name or f"raid10({','.join(p.name for p in self.pairs)})",
+            self.pairs,
+            PerformanceSpec(sum(p.spec.nominal_rate for p in self.pairs)),
+        )
 
     @classmethod
     def from_disks(cls, sim: Simulator, disks: Sequence[Disk]) -> "Raid10":
@@ -226,7 +267,7 @@ class Raid10:
         return any(pair.failed for pair in self.pairs)
 
 
-class Raid5:
+class Raid5(CompositeComponent):
     """Left-asymmetric rotating-parity array.
 
     Logical blocks are grouped into stripes of ``width - 1`` data blocks
@@ -235,11 +276,19 @@ class Raid5:
     full-stripe fast path (no reads).
     """
 
-    def __init__(self, sim: Simulator, disks: Sequence[Disk]):
+    substrate = "storage"
+
+    def __init__(self, sim: Simulator, disks: Sequence[Disk], name: str = ""):
         if len(disks) < 3:
             raise ValueError("RAID-5 needs >= 3 disks")
         self.sim = sim
         self.disks: List[Disk] = list(disks)
+        self._init_component(
+            sim,
+            name or f"raid5({','.join(d.name for d in self.disks)})",
+            self.disks,
+            _member_spec_sum(self.disks),
+        )
 
     @property
     def width(self) -> int:

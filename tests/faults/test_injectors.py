@@ -273,6 +273,37 @@ class TestCompositeInjector:
         with pytest.raises(ValueError):
             CompositeInjector([])
 
+    def test_cancel_restores_all_children_slowdowns(self):
+        """Compose-then-cancel: every child channel is cleared, so the
+        component returns to nominal instead of freezing degraded."""
+        sim, target = make_target()
+        composite = CompositeInjector(
+            [StaticSkew(0.5), InterferenceLoad(share=0.5)]
+        )
+        handle = composite.attach(sim, target)
+        rates = []
+
+        def probe():
+            yield sim.timeout(1.0)
+            rates.append(target.effective_rate)  # both faults applied
+            handle.cancel()
+            rates.append(target.effective_rate)  # both channels cleared
+            yield sim.timeout(5.0)
+            rates.append(target.effective_rate)  # and nothing comes back
+
+        sim.process(probe())
+        sim.run()
+        assert rates == [2.5, 10.0, 10.0]
+        assert handle.cancelled
+        assert all(child.cancelled for child in handle.children)
+
+    def test_cancel_without_restore_keeps_applied_factors(self):
+        sim, target = make_target()
+        handle = CompositeInjector([StaticSkew(0.5)]).attach(sim, target)
+        sim.run(until=1.0)
+        handle.cancel(restore=False)
+        assert target.effective_rate == 5.0
+
     def test_unique_sources_per_injector(self):
         a, b = StaticSkew(0.5), StaticSkew(0.5)
         assert a.source != b.source

@@ -2,11 +2,14 @@
 
 import pytest
 
+from repro.core.system import System
+from repro.faults.model import ComponentStopped
 from repro.sim import Simulator
 from repro.storage import (
     Disk,
     DiskParams,
     Raid1Pair,
+    Raid10,
     Reconstructor,
     uniform_geometry,
 )
@@ -119,3 +122,49 @@ class TestRebuild:
         spare2 = Disk(sim, "s2", uniform_geometry(1000, 5.5), PARAMS)
         with pytest.raises(ValueError):
             Reconstructor(sim).rebuild(pair, spare2, blocks=10)  # none alive
+
+
+class TestFailStopMidRebuild:
+    def test_survivor_failstop_fails_waiters_by_name(self):
+        """Losing the survivor mid-rebuild is detectable, not a hang:
+        every waiter queued on the dead member gets ComponentStopped
+        carrying the component's registered name."""
+        sim = System()
+        disks = [
+            Disk(sim, f"d{i}", uniform_geometry(100_000, 5.5), PARAMS)
+            for i in range(4)
+        ]
+        array = Raid10.from_disks(sim, disks)
+        pair = array.pairs[0]
+        for lba in range(8):
+            sim.run(until=pair.write(lba, 1, value=lba))
+        pair.secondary.stop()  # d1 dies; d0 is the survivor being copied
+        spare = Disk(sim, "spare", uniform_geometry(100_000, 5.5), PARAMS)
+
+        failures = []
+
+        def rebuild_waiter():
+            try:
+                yield Reconstructor(sim).rebuild(pair, spare, blocks=1100)
+            except ComponentStopped as exc:
+                failures.append(exc)
+
+        def queued_reader():
+            # Lands in d0's queue behind rebuild I/O before the stop.
+            yield sim.timeout(4.0)
+            try:
+                yield pair.read(50_000, 1)
+            except ComponentStopped as exc:
+                failures.append(exc)
+
+        sim.process(rebuild_waiter())
+        sim.process(queued_reader())
+        # Registry wiring: the mid-rebuild fail-stop addresses the
+        # survivor purely by its registered name.
+        sim.schedule(5.0, sim.components.get("d0").stop)
+        sim.run()  # must drain -- nothing may wait forever on the dead disk
+        assert len(failures) == 2
+        assert all(exc.component == "d0" for exc in failures)
+        assert all("d0" in str(exc) for exc in failures)
+        # The other stripe pairs are untouched by the local disaster.
+        assert array.pairs[1].stopped is False

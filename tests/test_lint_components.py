@@ -1,0 +1,109 @@
+"""Tests for scripts/check_components.py (the spec-attachment lint)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_components.py"
+
+spec = importlib.util.spec_from_file_location("check_components", SCRIPT)
+check_components = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("check_components", check_components)
+spec.loader.exec_module(check_components)
+
+
+def lint_source(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    return check_components.check_paths([path])
+
+
+class TestRepoIsClean:
+    def test_src_tree_passes(self):
+        assert check_components.check_paths([REPO_ROOT / "src" / "repro"]) == []
+
+    def test_main_exit_zero(self, capsys):
+        assert check_components.main([str(REPO_ROOT / "src" / "repro")]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_main_rejects_missing_path(self, capsys):
+        assert check_components.main(["/no/such/tree"]) == 2
+
+
+class TestRule:
+    def test_subclass_without_spec_flagged(self, tmp_path):
+        problems = lint_source(
+            tmp_path,
+            "class Bad(DegradableMixin):\n"
+            "    def __init__(self, sim):\n"
+            "        self._init_degradable('bad', 1.0)\n",
+        )
+        assert len(problems) == 1
+        assert "Bad" in problems[0] and "PerformanceSpec" in problems[0]
+
+    def test_attach_spec_passes(self, tmp_path):
+        assert lint_source(
+            tmp_path,
+            "class Good(DegradableMixin):\n"
+            "    def __init__(self, sim):\n"
+            "        self._init_degradable('good', 1.0)\n"
+            "        self.attach_spec(PerformanceSpec(1.0))\n",
+        ) == []
+
+    def test_init_component_passes(self, tmp_path):
+        assert lint_source(
+            tmp_path,
+            "class Good(CompositeComponent):\n"
+            "    def __init__(self, sim):\n"
+            "        self._init_component(sim, 'good', [])\n",
+        ) == []
+
+    def test_super_delegation_passes(self, tmp_path):
+        assert lint_source(
+            tmp_path,
+            "class Base(DegradableMixin):\n"
+            "    def __init__(self):\n"
+            "        self.attach_spec(None)\n"
+            "class Derived(Base):\n"
+            "    def __init__(self):\n"
+            "        super().__init__()\n",
+        ) == []
+
+    def test_explicit_parent_delegation_passes(self, tmp_path):
+        assert lint_source(
+            tmp_path,
+            "class Base(DegradableMixin):\n"
+            "    def __init__(self):\n"
+            "        self.attach_spec(None)\n"
+            "class Derived(Base):\n"
+            "    def __init__(self):\n"
+            "        Base.__init__(self)\n",
+        ) == []
+
+    def test_no_init_inherits_and_passes(self, tmp_path):
+        assert lint_source(
+            tmp_path,
+            "class Quiet(DegradableMixin):\n"
+            "    kind = 'quiet'\n",
+        ) == []
+
+    def test_transitive_subclass_flagged(self, tmp_path):
+        problems = lint_source(
+            tmp_path,
+            "class Mid(CompositeComponent):\n"
+            "    pass\n"
+            "class Leaf(Mid):\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n",
+        )
+        assert len(problems) == 1
+        assert "Leaf" in problems[0]
+
+    def test_unrelated_class_ignored(self, tmp_path):
+        assert lint_source(
+            tmp_path,
+            "class Plain:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n",
+        ) == []
