@@ -1,0 +1,34 @@
+"""Benchmark E26: the fault campaign's policy scorecard."""
+
+from conftest import regenerate
+
+from repro.experiments import e26_campaign
+
+
+def test_e26_campaign(benchmark):
+    table = regenerate(
+        benchmark,
+        e26_campaign.run,
+        scenarios_per_family=1,
+        n_requests=160,
+        verify_determinism=False,
+    )
+    cells = {
+        (w, f, p): (mean, waste)
+        for w, f, p, mean, waste in zip(
+            table.column("workload"), table.column("family"),
+            table.column("policy"), table.column("mean_s"),
+            table.column("waste_pct"),
+        )
+    }
+    # Correlated stutter: stutter-aware beats the fail-stop reflex and
+    # wastes nothing; fail-stop-only: the two agree to within noise.
+    for workload in ("raid10", "dht"):
+        slow_fixed, waste_fixed = cells[(workload, "correlated", "fixed-timeout")]
+        slow_aware, waste_aware = cells[(workload, "correlated", "stutter-aware")]
+        assert slow_aware < 0.7 * slow_fixed
+        assert waste_aware == 0.0 and waste_fixed > 0.0
+        stop_fixed, __ = cells[(workload, "failstop", "fixed-timeout")]
+        stop_aware, __ = cells[(workload, "failstop", "stutter-aware")]
+        assert abs(stop_aware - stop_fixed) <= 0.25 * stop_fixed
+    assert all(o == "ok" for o in table.column("oracle"))

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Time the benchmark suites and emit JSON reports.
 
-Three suites, selected with ``--suite``:
+Four suites, selected with ``--suite``:
 
 * ``engine`` (default) -- the kernel microbenchmarks, timed as
   baseline-vs-after (``BENCH_engine.json``);
@@ -11,7 +11,10 @@ Three suites, selected with ``--suite``:
 * ``models`` -- the component-model hot paths (zoned streaming, remap
   counting, the metrics layer) plus full e01/e02/e03 regenerations,
   each timed against the retained reference implementations in the same
-  process, asserting bit-identical checksums (``BENCH_models.json``).
+  process, asserting bit-identical checksums (``BENCH_models.json``);
+* ``campaign`` -- the fault-campaign engine: scenario-run throughput for
+  the standard e26 sweep plus an in-process byte-identical rerun check
+  (``BENCH_campaign.json``).
 
 Usage (from the repo root)::
 
@@ -31,6 +34,9 @@ Usage (from the repo root)::
 
     # Regenerate the component-model numbers (reference vs analytic):
     PYTHONPATH=src python scripts/perf_report.py --suite models
+
+    # Regenerate the fault-campaign numbers:
+    PYTHONPATH=src python scripts/perf_report.py --suite campaign
 
     # Smoke mode (CI): run every workload once, no timing claims:
     PYTHONPATH=src python scripts/perf_report.py --smoke
@@ -152,6 +158,55 @@ def run_report_suite(args) -> int:
         shutil.rmtree(cache_root, ignore_errors=True)
 
 
+def run_campaign_suite(args) -> int:
+    """Time the fault-campaign engine and re-verify its determinism.
+
+    Runs the standard e26 campaign (workloads x families x policies x
+    scenarios) twice in one process and requires byte-identical scorecard
+    digests, then writes scenario-throughput numbers to
+    ``BENCH_campaign.json``.  Smoke mode shrinks the request counts and
+    skips the JSON.
+    """
+    from repro.faults.campaign import run_campaign
+
+    kwargs = dict(seed=7, verify_determinism=False)
+    if args.smoke:
+        kwargs.update(scenarios_per_family=1, n_requests=120)
+
+    start = time.perf_counter()
+    first = run_campaign(**kwargs)
+    elapsed = time.perf_counter() - start
+    second = run_campaign(**kwargs)
+    digest = first.table().digest()
+    identical = digest == second.table().digest()
+    clean = not first.violations
+    scenarios = len(first.outcomes)
+    print(f"  {scenarios} scenario runs in {elapsed:.2f} s "
+          f"({scenarios / elapsed:.1f}/s), oracle clean={clean}, "
+          f"rerun identical={identical}")
+    if not (identical and clean):
+        print("campaign suite FAILED", file=sys.stderr)
+        return 1
+    if args.smoke:
+        print("  campaign suite: ok")
+        return 0
+
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenario_runs": scenarios,
+        "seconds": elapsed,
+        "scenarios_per_second": scenarios / elapsed,
+        "scorecard_sha256": digest,
+        "byte_identical": identical,
+        "oracle_violations": len(first.violations),
+    }
+    out = args.out or "BENCH_campaign.json"
+    Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def run_models_suite(args) -> int:
     """Time the component-model hot paths against their retained
     reference implementations and write ``BENCH_models.json``.
@@ -234,10 +289,12 @@ def run_models_suite(args) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--suite", choices=("engine", "report", "models"), default="engine",
+    parser.add_argument("--suite", choices=("engine", "report", "models", "campaign"),
+                        default="engine",
                         help="engine microbenchmarks (default), full-report "
-                             "regeneration timings, or component-model "
-                             "reference-vs-analytic timings")
+                             "regeneration timings, component-model "
+                             "reference-vs-analytic timings, or fault-campaign "
+                             "throughput + determinism")
     parser.add_argument("--save", metavar="PATH", help="write raw timings to PATH")
     parser.add_argument("--baseline", metavar="PATH", help="baseline timings to compare against")
     parser.add_argument("--out", metavar="PATH", default=None,
@@ -265,6 +322,8 @@ def main(argv=None) -> int:
         return run_report_suite(args)
     if args.suite == "models":
         return run_models_suite(args)
+    if args.suite == "campaign":
+        return run_campaign_suite(args)
 
     from engine_workloads import WORKLOADS
 

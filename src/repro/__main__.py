@@ -8,6 +8,7 @@ Usage::
     python -m repro report               # full EXPERIMENTS.md content
     python -m repro report --workers 4   # parallel cache-miss regeneration
     python -m repro report --no-cache    # recompute everything from scratch
+    python -m repro campaign --seed 7    # fault-campaign policy scorecard
 """
 
 from __future__ import annotations
@@ -51,6 +52,41 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from .faults.campaign import FAMILIES, WORKLOADS, run_campaign
+    from .policy import POLICIES
+
+    unknown = [f for f in args.families if f not in FAMILIES]
+    unknown += [w for w in args.workloads if w not in WORKLOADS]
+    unknown += [p for p in args.policies if p not in POLICIES]
+    if unknown:
+        print(f"unknown campaign names: {', '.join(unknown)}", file=sys.stderr)
+        print(
+            f"families: {', '.join(FAMILIES)}; workloads: "
+            f"{', '.join(WORKLOADS)}; policies: {', '.join(POLICIES)}",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_campaign(
+        seed=args.seed,
+        workloads=tuple(args.workloads),
+        families=tuple(args.families),
+        policies=tuple(args.policies),
+        scenarios_per_family=args.scenarios,
+        verify_determinism=not args.no_verify,
+    )
+    table = result.table()
+    print(table.render())
+    print()
+    print(f"scorecard digest: {table.digest()}")
+    if result.violations:
+        print(f"{len(result.violations)} oracle violations:", file=sys.stderr)
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -75,11 +111,42 @@ def main(argv=None) -> int:
         "--cache-dir", default=None, metavar="PATH",
         help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro/experiments)",
     )
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run the fault campaign and print the policy scorecard",
+    )
+    campaign_parser.add_argument(
+        "--seed", type=int, default=7, help="campaign seed (default: 7)"
+    )
+    campaign_parser.add_argument(
+        "--scenarios", type=int, default=3, metavar="N",
+        help="scenarios drawn per family (default: 3)",
+    )
+    campaign_parser.add_argument(
+        "--families", nargs="+", default=["magnitude", "correlated", "failstop"],
+        metavar="FAMILY", help="scenario families to sweep",
+    )
+    campaign_parser.add_argument(
+        "--workloads", nargs="+", default=["raid10", "dht"],
+        metavar="WORKLOAD", help="workloads to drive (raid10, dht)",
+    )
+    campaign_parser.add_argument(
+        "--policies", nargs="+",
+        default=["fixed-timeout", "adaptive-timeout", "retry-backoff",
+                 "hedged", "stutter-aware"],
+        metavar="POLICY", help="mitigation policies to score",
+    )
+    campaign_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the oracle's same-seed rerun (halves runtime)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args.ids)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     return _cmd_report(args)
 
 

@@ -12,7 +12,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Tuple
 
-__all__ = ["RateEstimator", "WindowedRateEstimator", "EwmaRateEstimator"]
+__all__ = [
+    "RateEstimator",
+    "WindowedRateEstimator",
+    "EwmaRateEstimator",
+    "LatencyEstimator",
+]
 
 
 class RateEstimator:
@@ -99,3 +104,71 @@ class EwmaRateEstimator(RateEstimator):
 
     def reset(self) -> None:
         self._estimate = None
+
+
+class LatencyEstimator:
+    """Jacobson/Karels smoothed latency with mean deviation.
+
+    The adaptive-timeout policy question is "how long is *unusually*
+    long right now?", which is the TCP retransmit-timer problem: track a
+    smoothed round-trip latency and its mean deviation, and time out at
+    ``mean + k * deviation``.  Under a stutter episode the estimate
+    inflates with the observed latencies, so the timeout chases the
+    delivered (degraded) performance instead of declaring the component
+    dead -- exactly the fail-stutter reading of "slow is not stopped".
+
+    ``initial`` seeds the estimate before any observation (typically the
+    spec's expected latency for one request); ``floor`` bounds the
+    timeout from below so a burst of fast completions cannot collapse it
+    to zero.
+    """
+
+    def __init__(
+        self,
+        initial: float,
+        alpha: float = 0.125,
+        beta: float = 0.25,
+        k: float = 4.0,
+        floor: Optional[float] = None,
+    ):
+        if initial <= 0:
+            raise ValueError(f"initial must be > 0, got {initial}")
+        if not 0.0 < alpha <= 1.0 or not 0.0 < beta <= 1.0:
+            raise ValueError("alpha and beta must be in (0, 1]")
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+        self.floor = floor if floor is not None else initial
+        self._mean = float(initial)
+        self._dev = float(initial) / 2.0
+        self._observations = 0
+
+    @property
+    def mean(self) -> float:
+        """Current smoothed latency estimate."""
+        return self._mean
+
+    @property
+    def deviation(self) -> float:
+        """Current smoothed mean deviation."""
+        return self._dev
+
+    @property
+    def observations(self) -> int:
+        """Number of samples consumed."""
+        return self._observations
+
+    def observe(self, latency: float) -> None:
+        """Feed one observed request latency."""
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        error = latency - self._mean
+        self._mean += self.alpha * error
+        self._dev += self.beta * (abs(error) - self._dev)
+        self._observations += 1
+
+    def timeout(self) -> float:
+        """The current adaptive timeout, ``max(floor, mean + k * dev)``."""
+        return max(self.floor, self._mean + self.k * self._dev)

@@ -45,6 +45,7 @@ from . import (
     e23_workload,
     e24_video,
     e25_observer,
+    e26_campaign,
 )
 
 __all__ = ["ALL_EXPERIMENTS", "experiment_substrates", "run_all"]
@@ -75,6 +76,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "e23": e23_workload.run,
     "e24": e24_video.run,
     "e25": e25_observer.run,
+    "e26": e26_campaign.run,
     "a1": a1_notification.run,
     "a2": a2_threshold.run,
     "a3": a3_detectors.run,

@@ -1,0 +1,53 @@
+"""E26: mitigation policies scored across fault-scenario families.
+
+Section 3's indictment of fail-stop thinking is statistical, not
+anecdotal: a timeout that is exactly right for a dead component is
+exactly wrong for a merely slow one, and which case you are in varies
+across faults.  This experiment runs the full fault campaign
+(:mod:`repro.faults.campaign`): seeded scenario *families* -- slowdown
+magnitude, correlated pair-wide stutters, pure fail-stops -- swept over
+a RAID-10 read workload and a replicated-DHT get workload, each under
+all five mitigation policies of :mod:`repro.policy`.
+
+The expected shape of the table:
+
+* ``correlated`` rows: ``stutter-aware`` wins outright -- lower mean and
+  p99, fewer SLO violations, and **zero** wasted work, because it keeps
+  using the degraded pair at its delivered rate instead of bombarding it
+  with timeout duplicates (``fixed-timeout`` wastes ~a third of issued
+  work here).
+* ``failstop`` rows: all policies agree to within noise -- when a
+  component really is dead, the fail-stop reflex was the right call and
+  stutter-awareness costs nothing.
+* the ``oracle`` column certifies work conservation, no-hang, and
+  byte-identical same-seed reruns for every scenario behind each row.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.report import Table
+from ..faults.campaign import run_campaign
+
+__all__ = ["run"]
+
+
+def run(
+    seed: int = 7,
+    scenarios_per_family: int = 3,
+    families: Sequence[str] = ("magnitude", "correlated", "failstop"),
+    workloads: Sequence[str] = ("raid10", "dht"),
+    n_requests: Optional[int] = None,
+    verify_determinism: bool = True,
+) -> Table:
+    """Regenerate the E26 scorecard: workload x family x policy."""
+    result = run_campaign(
+        seed=seed,
+        workloads=tuple(workloads),
+        families=tuple(families),
+        scenarios_per_family=scenarios_per_family,
+        n_requests=n_requests,
+        verify_determinism=verify_determinism,
+    )
+    return result.table()

@@ -6,6 +6,10 @@
 * :mod:`repro.faults.distributions` -- sampling laws for fault schedules.
 * :mod:`repro.faults.injector` / :mod:`repro.faults.library` -- the
   injection framework and the concrete faults from the paper's survey.
+* :mod:`repro.faults.campaign` -- seeded scenario families swept under
+  the mitigation policies of :mod:`repro.policy`, with an invariant
+  oracle (imported explicitly, not re-exported here, because it builds
+  on :mod:`repro.core` which in turn builds on this package).
 """
 
 from .distributions import (

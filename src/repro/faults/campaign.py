@@ -1,0 +1,777 @@
+"""Deterministic fault campaigns: policies scored against scenario families.
+
+One injected stutter tells an anecdote; the paper's argument needs the
+distribution.  Treaster's fault-tolerance survey and Zhou et al.'s
+framework for predicting performance under faults both evaluate
+*mitigation policies* against *families* of faults, and this module does
+the same for the reproduction: seeded generators draw whole families of
+scenarios -- slowdown magnitude, onset time, episode duration, correlated
+multi-component stutters, plain fail-stops -- over a replicated workload
+built from registered Components, and every
+:class:`~repro.policy.MitigationPolicy` runs against every scenario.
+
+The output is a scorecard per (workload, family, policy) cell:
+completion-time distribution, SLO-violation fraction, and wasted
+duplicate work.  The engine -- not the policy -- owns all accounting
+(issued / completed / claimed / wasted work), so the
+:class:`InvariantOracle` can audit every run for work conservation,
+no-hang, and byte-identical reruns under the same seed; a policy that
+cheats or wedges is detected rather than silently mis-scored.
+
+Determinism contract: all randomness is drawn up front by the scenario
+generators from ``random.Random`` seeded with a string key (which hashes
+via SHA-512, independent of ``PYTHONHASHSEED``); the simulation runs
+themselves are RNG-free.  ``run_campaign(seed=7)`` is therefore
+byte-identical across processes, which the oracle re-verifies by
+running every scenario twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from random import Random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.report import Table
+from ..core.system import System
+from ..policy import POLICIES, MitigationPolicy, make_policy
+from ..sim.metrics import LatencyRecorder
+from .component import DegradableServer
+from .spec import PerformanceSpec
+
+__all__ = [
+    "FaultEvent",
+    "Scenario",
+    "CampaignWorkload",
+    "WORKLOADS",
+    "FAMILIES",
+    "generate_scenario",
+    "generate_scenarios",
+    "CampaignEngine",
+    "Request",
+    "ScenarioOutcome",
+    "InvariantOracle",
+    "run_scenario",
+    "run_campaign",
+    "CellScore",
+    "CampaignResult",
+]
+
+#: Work-accounting comparisons use this absolute slack for float sums.
+_EPS = 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault in a scenario.
+
+    ``kind`` is ``"stutter"`` (slow to ``factor`` of nominal between
+    ``onset`` and ``onset + duration``) or ``"fail-stop"`` (halt at
+    ``onset``; ``duration``/``factor`` unused).
+    """
+
+    component: str
+    kind: str
+    onset: float
+    duration: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in ("stutter", "fail-stop"):
+            raise ValueError(f"kind must be 'stutter' or 'fail-stop', got {self.kind!r}")
+        if self.onset < 0:
+            raise ValueError(f"onset must be >= 0, got {self.onset}")
+        if self.kind == "stutter" and not (self.duration > 0 and 0 < self.factor < 1):
+            raise ValueError("stutter needs duration > 0 and factor in (0, 1)")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One drawn member of a scenario family."""
+
+    family: str
+    index: int
+    seed: int
+    events: Tuple[FaultEvent, ...]
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{e.component}:{e.kind}@{e.onset:.2f}"
+            + (f"x{e.factor:.2f}/{e.duration:.2f}s" if e.kind == "stutter" else "")
+            for e in self.events
+        )
+        return f"{self.family}[{self.index}] {parts}"
+
+
+def _one_member(rng: Random, groups: Sequence[Tuple[str, ...]]) -> str:
+    pair = groups[rng.randrange(len(groups))]
+    return pair[rng.randrange(len(pair))]
+
+
+def _family_magnitude(rng, groups, span):
+    """How *slow* -- one member, fixed episode, drawn slowdown factor."""
+    member = _one_member(rng, groups)
+    factor = rng.uniform(0.05, 0.5)
+    return [FaultEvent(member, "stutter", onset=0.15 * span, duration=0.5 * span, factor=factor)]
+
+
+def _family_onset(rng, groups, span):
+    """When it *starts* -- fixed slowdown, drawn onset time."""
+    member = _one_member(rng, groups)
+    onset = rng.uniform(0.05, 0.55) * span
+    return [FaultEvent(member, "stutter", onset=onset, duration=0.35 * span, factor=0.2)]
+
+
+def _family_duration(rng, groups, span):
+    """How *long* -- fixed slowdown and onset, drawn episode length."""
+    member = _one_member(rng, groups)
+    duration = rng.uniform(0.1, 0.6) * span
+    return [FaultEvent(member, "stutter", onset=0.15 * span, duration=duration, factor=0.2)]
+
+
+def _family_correlated(rng, groups, span):
+    """Both members of one replica pair stutter together.
+
+    This is the scenario fail-stop thinking handles worst: there is no
+    fast mirror to fail over to, so timeout-driven duplicates only pile
+    more work onto the already-degraded pair.
+    """
+    pair = groups[rng.randrange(len(groups))]
+    onset = rng.uniform(0.1, 0.25) * span
+    duration = rng.uniform(0.4, 0.6) * span
+    return [
+        FaultEvent(member, "stutter", onset=onset, duration=duration,
+                   factor=rng.uniform(0.08, 0.3))
+        for member in pair
+    ]
+
+
+def _family_failstop(rng, groups, span):
+    """Pure fail-stop control: one member halts, mirrors survive."""
+    member = _one_member(rng, groups)
+    return [FaultEvent(member, "fail-stop", onset=rng.uniform(0.1, 0.6) * span)]
+
+
+#: Family name -> generator ``(rng, groups, span) -> [FaultEvent, ...]``
+#: where ``span`` is the workload's submission window in seconds.
+FAMILIES: Dict[str, Callable[..., List[FaultEvent]]] = {
+    "magnitude": _family_magnitude,
+    "onset": _family_onset,
+    "duration": _family_duration,
+    "correlated": _family_correlated,
+    "failstop": _family_failstop,
+}
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignWorkload:
+    """A replicated open-loop workload the campaign drives.
+
+    ``n_pairs`` mirror pairs of :class:`DegradableServer` (named
+    ``{prefix}0 .. {prefix}{2*n_pairs-1}``, pair *k* holding members
+    ``2k`` and ``2k+1``); ``n_requests`` requests of ``work`` units
+    arrive one per ``gap`` seconds, assigned round-robin across pairs.
+    Any replicated substrate reachable through the ComponentRegistry can
+    be expressed this way -- the two stock instances model E1's RAID-10
+    mirrored reads and E12's replicated DHT gets.
+    """
+
+    name: str
+    substrate: str
+    prefix: str
+    n_pairs: int
+    rate: float
+    work: float
+    gap: float
+    n_requests: int
+    slo_factor: float = 12.0
+    horizon_factor: float = 6.0
+
+    @property
+    def expected_service(self) -> float:
+        """Nominal service time for one request on one member."""
+        return self.work / self.rate
+
+    @property
+    def span(self) -> float:
+        """The submission window: last arrival time."""
+        return self.n_requests * self.gap
+
+    @property
+    def slo(self) -> float:
+        """Per-request latency SLO."""
+        return self.slo_factor * self.expected_service
+
+    @property
+    def horizon(self) -> float:
+        """Simulated time budget; everything must drain before this."""
+        return self.horizon_factor * self.span
+
+    def group_names(self) -> List[Tuple[str, str]]:
+        """Mirror-pair member names, without building anything."""
+        return [
+            (f"{self.prefix}{2 * k}", f"{self.prefix}{2 * k + 1}")
+            for k in range(self.n_pairs)
+        ]
+
+    def build(self, system: System) -> List[Tuple[str, str]]:
+        """Construct and register the servers; returns the pair names."""
+        groups = self.group_names()
+        spec = PerformanceSpec(self.rate, tolerance=0.2)
+        for pair in groups:
+            for member in pair:
+                DegradableServer(system, member, self.rate, spec=spec)
+        return groups
+
+
+#: The stock workloads the e26 experiment and the CLI campaign sweep.
+WORKLOADS: Dict[str, CampaignWorkload] = {
+    # E1's substrate: mirrored disk pairs, 0.5 MB reads at 5.5 MB/s.
+    "raid10": CampaignWorkload(
+        name="raid10", substrate="storage", prefix="d",
+        n_pairs=4, rate=5.5, work=0.5, gap=0.03, n_requests=320,
+    ),
+    # E12's substrate: replicated DHT bricks, unit-work gets at 100 ops/s,
+    # driven hard enough that a stuttering pair actually accumulates queue.
+    "dht": CampaignWorkload(
+        name="dht", substrate="cluster", prefix="brick",
+        n_pairs=4, rate=100.0, work=1.0, gap=0.006, n_requests=1200,
+    ),
+}
+
+
+def generate_scenario(workload: CampaignWorkload, family: str, seed: int,
+                      index: int) -> Scenario:
+    """Draw one scenario; deterministic in (workload, family, seed, index)."""
+    if family not in FAMILIES:
+        known = ", ".join(FAMILIES)
+        raise KeyError(f"no scenario family {family!r}; known: {known}")
+    # String seeding hashes via SHA-512 inside random.Random -- stable
+    # across processes and interpreter runs, unlike hash()-based seeds.
+    rng = Random(f"campaign:{seed}:{workload.name}:{family}:{index}")
+    events = FAMILIES[family](rng, workload.group_names(), workload.span)
+    return Scenario(family=family, index=index, seed=seed, events=tuple(events))
+
+
+def generate_scenarios(workload: CampaignWorkload, family: str, seed: int,
+                       count: int) -> List[Scenario]:
+    """Draw ``count`` scenarios from one family."""
+    return [generate_scenario(workload, family, seed, i) for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class Request:
+    """One logical request; attempts against replicas are tracked here."""
+
+    __slots__ = (
+        "index", "work", "group", "submitted_at",
+        "resolved", "failed", "latency", "attempts", "outstanding", "tried",
+    )
+
+    def __init__(self, index: int, work: float, group: Tuple[str, ...],
+                 submitted_at: float):
+        self.index = index
+        self.work = work
+        self.group = group
+        self.submitted_at = submitted_at
+        self.resolved = False
+        self.failed = False
+        self.latency: Optional[float] = None
+        self.attempts = 0
+        self.outstanding = 0
+        self.tried: Dict[str, int] = {}
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything one (scenario, policy) run produced, engine-audited."""
+
+    workload: str
+    family: str
+    scenario_index: int
+    policy: str
+    n_requests: int
+    slo: float
+    latencies: List[float]
+    slo_violations: int
+    issued_work: float
+    completed_work: float
+    claimed_work: float
+    wasted_work: float
+    failed_work: float
+    outstanding_attempts: int
+    unresolved_requests: int
+    failed_requests: int
+    server_work: Dict[str, float]
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def waste_fraction(self) -> float:
+        """Share of issued work that was duplicate (unclaimed) service."""
+        return self.wasted_work / self.issued_work if self.issued_work > 0 else 0.0
+
+    @property
+    def slo_fraction(self) -> float:
+        return self.slo_violations / self.n_requests if self.n_requests else 0.0
+
+    def digest(self) -> str:
+        """SHA-256 over the full-precision run outcome (oracle identity)."""
+        payload = {
+            "workload": self.workload,
+            "family": self.family,
+            "scenario_index": self.scenario_index,
+            "policy": self.policy,
+            "latencies": self.latencies,
+            "counters": [
+                self.issued_work, self.completed_work, self.claimed_work,
+                self.wasted_work, self.failed_work, self.outstanding_attempts,
+                self.unresolved_requests, self.failed_requests,
+            ],
+            "servers": sorted(self.server_work.items()),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                          allow_nan=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class CampaignEngine:
+    """Runs one scenario under one policy, owning all work accounting.
+
+    The policy routes; the engine issues.  Every attempt flows through
+    :meth:`attempt`, every completion lands in :meth:`_on_attempt`, and
+    the counters those maintain are what the oracle audits -- a policy
+    cannot report success it did not earn.
+    """
+
+    def __init__(self, system: System, workload: CampaignWorkload,
+                 groups: Sequence[Tuple[str, ...]], policy: MitigationPolicy):
+        self.system = system
+        self.sim = system
+        self.workload = workload
+        self.groups = [tuple(g) for g in groups]
+        self.policy = policy
+        self.requests: List[Request] = []
+        self.recorder = LatencyRecorder(name="campaign")
+        self.issued_work = 0.0
+        self.completed_work = 0.0
+        self.claimed_work = 0.0
+        self.wasted_work = 0.0
+        self.failed_work = 0.0
+        self.failed_requests = 0
+        policy.bind(self)
+
+    # -- surface the policies program against --------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def expected_service(self) -> float:
+        return self.workload.expected_service
+
+    @property
+    def nominal_rate(self) -> float:
+        return self.workload.rate
+
+    def call_later(self, delay: float, fn, *args) -> None:
+        self.sim.call_later(delay, fn, *args)
+
+    def component_names(self) -> List[str]:
+        return [name for group in self.groups for name in group]
+
+    def queue_depth(self, name: str) -> int:
+        """Backlog on one member: queued jobs plus the one in service."""
+        component = self.system.components.get(name)
+        return component.queue_length + (1 if component.busy else 0)
+
+    def live_candidates(self, request: Request) -> List[str]:
+        return [
+            name for name in request.group
+            if not self.system.components.get(name).stopped
+        ]
+
+    def pick_candidate(self, request: Request) -> Optional[str]:
+        """Default routing: untried first, then shortest queue, then name."""
+        live = self.live_candidates(request)
+        if not live:
+            return None
+        return min(
+            live,
+            key=lambda name: (
+                request.tried.get(name, 0), self.queue_depth(name), name,
+            ),
+        )
+
+    def attempt(self, request: Request, name: str) -> bool:
+        """Issue one attempt on ``name``; False if it already fail-stopped."""
+        component = self.system.components.get(name)
+        if component.stopped:
+            return False
+        request.attempts += 1
+        request.outstanding += 1
+        request.tried[name] = request.tried.get(name, 0) + 1
+        self.issued_work += request.work
+        started = self.sim.now
+        event = component.submit(request.work)
+        event.callbacks.append(
+            lambda ev: self._on_attempt(request, name, started, ev)
+        )
+        return True
+
+    def give_up(self, request: Request) -> None:
+        """Resolve a request as failed (no live replica remains)."""
+        if request.resolved:
+            return
+        request.resolved = True
+        request.failed = True
+        self.failed_requests += 1
+
+    # -- engine internals ----------------------------------------------------------
+
+    def _on_attempt(self, request: Request, name: str, started: float, event) -> None:
+        elapsed = self.sim.now - started
+        request.outstanding -= 1
+        if not event._ok:
+            self.failed_work += request.work
+            self.policy.on_attempt_failed(request, name)
+            return
+        self.completed_work += request.work
+        claimed = not request.resolved
+        if claimed:
+            self._resolve(request, self.sim.now - request.submitted_at)
+        else:
+            self.wasted_work += request.work
+        self.policy.on_attempt_completed(request, name, elapsed, claimed)
+
+    def _resolve(self, request: Request, latency: float) -> None:
+        request.resolved = True
+        request.latency = latency
+        self.claimed_work += request.work
+        self.recorder.record(latency)
+
+    def _submit_one(self, index: int) -> None:
+        request = Request(
+            index=index,
+            work=self.workload.work,
+            group=self.groups[index % len(self.groups)],
+            submitted_at=self.sim.now,
+        )
+        self.requests.append(request)
+        self.policy.start(request)
+
+    def _apply_event(self, tag: int, event: FaultEvent) -> None:
+        component = self.system.components.get(event.component)
+        if event.kind == "fail-stop":
+            self.sim.call_at(event.onset, component.stop, "campaign")
+            return
+        source = f"campaign-{tag}"
+        self.sim.call_at(event.onset, component.set_slowdown, source, event.factor)
+        self.sim.call_at(
+            event.onset + event.duration, component.clear_slowdown, source
+        )
+
+    def run(self, scenario: Scenario) -> ScenarioOutcome:
+        """Drive the workload under ``scenario`` to the drain horizon."""
+        workload = self.workload
+        for tag, fault in enumerate(scenario.events):
+            self._apply_event(tag, fault)
+        for index in range(workload.n_requests):
+            self.sim.call_at(index * workload.gap, self._submit_one, index)
+        self.sim.run(until=workload.horizon)
+        outstanding = sum(r.outstanding for r in self.requests)
+        unresolved = sum(1 for r in self.requests if not r.resolved)
+        outcome = ScenarioOutcome(
+            workload=workload.name,
+            family=scenario.family,
+            scenario_index=scenario.index,
+            policy=self.policy.name,
+            n_requests=len(self.requests),
+            slo=workload.slo,
+            latencies=list(self.recorder.samples),
+            slo_violations=self.recorder.count_over(workload.slo),
+            issued_work=self.issued_work,
+            completed_work=self.completed_work,
+            claimed_work=self.claimed_work,
+            wasted_work=self.wasted_work,
+            failed_work=self.failed_work,
+            outstanding_attempts=outstanding,
+            unresolved_requests=unresolved,
+            failed_requests=self.failed_requests,
+            server_work={
+                name: self.system.components.get(name).work_completed
+                for name in self.component_names()
+            },
+        )
+        return outcome
+
+
+class InvariantOracle:
+    """Audits engine counters for the three campaign invariants.
+
+    * **Work conservation** -- completed work splits exactly into claimed
+      plus wasted; issued work splits into completed, failed and still-
+      outstanding; and the engine's completion counter matches what the
+      servers themselves report having served.  A policy fabricating
+      results (claiming work no server performed) breaks the split.
+    * **No-hang** -- at the drain horizon every request is resolved and
+      no attempt is still in flight.  A policy that drops requests on
+      the floor is caught here rather than scored as zero-latency.
+    * **Seed determinism** -- rerunning the same (scenario, policy) must
+      reproduce the outcome digest byte-identically; hidden state across
+      runs (module globals, wall-clock reads) is detected.
+    """
+
+    def check(self, outcome: ScenarioOutcome) -> List[str]:
+        """Violation strings for one run ([] when all invariants hold)."""
+        violations: List[str] = []
+        split = outcome.claimed_work + outcome.wasted_work
+        if abs(outcome.completed_work - split) > _EPS:
+            violations.append(
+                "work-conservation: completed "
+                f"{outcome.completed_work:.6f} != claimed+wasted {split:.6f}"
+            )
+        accounted = outcome.completed_work + outcome.failed_work
+        if outcome.outstanding_attempts == 0 and abs(
+            outcome.issued_work - accounted
+        ) > _EPS:
+            violations.append(
+                "work-conservation: issued "
+                f"{outcome.issued_work:.6f} != completed+failed {accounted:.6f}"
+            )
+        served = sum(outcome.server_work.values())
+        if abs(served - outcome.completed_work) > _EPS:
+            violations.append(
+                "work-conservation: servers served "
+                f"{served:.6f} but engine completed {outcome.completed_work:.6f}"
+            )
+        if outcome.unresolved_requests:
+            violations.append(
+                f"no-hang: {outcome.unresolved_requests} requests unresolved at horizon"
+            )
+        if outcome.outstanding_attempts:
+            violations.append(
+                f"no-hang: {outcome.outstanding_attempts} attempts still in flight at horizon"
+            )
+        return violations
+
+    def check_determinism(self, first: ScenarioOutcome,
+                          second: ScenarioOutcome) -> List[str]:
+        """Digest comparison for a same-seed rerun."""
+        a, b = first.digest(), second.digest()
+        if a != b:
+            return [f"determinism: rerun digest {b[:12]} != {a[:12]}"]
+        return []
+
+
+PolicyLike = Union[str, MitigationPolicy, Callable[[], MitigationPolicy]]
+
+
+def _fresh_policy(policy: PolicyLike) -> MitigationPolicy:
+    if isinstance(policy, str):
+        return make_policy(policy)
+    if isinstance(policy, MitigationPolicy):
+        return policy
+    return policy()
+
+
+def run_scenario(workload: CampaignWorkload, scenario: Scenario,
+                 policy: PolicyLike, check: bool = True) -> ScenarioOutcome:
+    """One (scenario, policy) run on a fresh System; oracle-audited.
+
+    ``policy`` is a roster name, a factory, or a ready instance.  The
+    policy binds *before* any request is submitted, so telemetry
+    subscriptions (stutter-aware detectors) are active from the first
+    completion.
+    """
+    system = System()
+    groups = workload.build(system)
+    engine = CampaignEngine(system, workload, groups, _fresh_policy(policy))
+    outcome = engine.run(scenario)
+    if check:
+        outcome.violations.extend(InvariantOracle().check(outcome))
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Campaign sweep + scorecard
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CellScore:
+    """Aggregate score for one (workload, family, policy) cell."""
+
+    workload: str
+    family: str
+    policy: str
+    requests: int
+    mean: float
+    p50: float
+    p99: float
+    maximum: float
+    slo_fraction: float
+    waste_fraction: float
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced: raw outcomes plus the scorecard."""
+
+    seed: int
+    scenarios_per_family: int
+    outcomes: List[ScenarioOutcome]
+    cells: List[CellScore]
+
+    @property
+    def violations(self) -> List[str]:
+        return [v for cell in self.cells for v in cell.violations]
+
+    def cell(self, workload: str, family: str, policy: str) -> CellScore:
+        for candidate in self.cells:
+            if (candidate.workload, candidate.family, candidate.policy) == (
+                workload, family, policy,
+            ):
+                return candidate
+        raise KeyError(f"no cell ({workload}, {family}, {policy})")
+
+    def table(self) -> Table:
+        """The scorecard, one row per (workload, family, policy) cell."""
+        table = Table(
+            f"E26: fault-campaign scorecard (seed {self.seed}, "
+            f"{self.scenarios_per_family} scenarios/family)",
+            [
+                "workload", "family", "policy", "mean_s", "p50_s", "p99_s",
+                "max_s", "slo_viol_pct", "waste_pct", "oracle",
+            ],
+            note=(
+                "Latencies in seconds over all scenarios of each family; "
+                "SLO = 12x nominal service time; waste = duplicate work / "
+                "issued work.  Oracle audits work conservation, no-hang "
+                "and same-seed rerun determinism on every scenario."
+            ),
+        )
+        for cell in self.cells:
+            table.add_row(
+                cell.workload,
+                cell.family,
+                cell.policy,
+                cell.mean,
+                cell.p50,
+                cell.p99,
+                cell.maximum,
+                100.0 * cell.slo_fraction,
+                100.0 * cell.waste_fraction,
+                "ok" if cell.ok else f"VIOLATED({len(cell.violations)})",
+            )
+        return table
+
+
+def _score_cell(workload: str, family: str, policy: str,
+                outcomes: Sequence[ScenarioOutcome]) -> CellScore:
+    recorder = LatencyRecorder(name="cell")
+    for outcome in outcomes:
+        for latency in outcome.latencies:
+            recorder.record(latency)
+    summary = recorder.summary()
+    requests = sum(o.n_requests for o in outcomes)
+    slo_violations = sum(o.slo_violations for o in outcomes)
+    issued = sum(o.issued_work for o in outcomes)
+    wasted = sum(o.wasted_work for o in outcomes)
+    violations = [
+        f"{o.family}[{o.scenario_index}]: {v}"
+        for o in outcomes
+        for v in o.violations
+    ]
+    return CellScore(
+        workload=workload,
+        family=family,
+        policy=policy,
+        requests=requests,
+        mean=summary.mean,
+        p50=summary.p50,
+        p99=summary.p99,
+        maximum=summary.maximum,
+        slo_fraction=slo_violations / requests if requests else 0.0,
+        waste_fraction=wasted / issued if issued else 0.0,
+        violations=violations,
+    )
+
+
+def run_campaign(
+    seed: int = 7,
+    workloads: Sequence[str] = ("raid10", "dht"),
+    families: Sequence[str] = ("magnitude", "correlated", "failstop"),
+    policies: Optional[Sequence[str]] = None,
+    scenarios_per_family: int = 3,
+    n_requests: Optional[int] = None,
+    verify_determinism: bool = True,
+) -> CampaignResult:
+    """The full sweep: workloads x families x scenarios x policies.
+
+    Every scenario runs under the invariant oracle; with
+    ``verify_determinism`` (the default) each (scenario, policy) run is
+    executed twice and the outcome digests compared, so the scorecard's
+    ``oracle`` column certifies byte-identical reruns, not just
+    plausible numbers.  ``n_requests`` overrides both workloads' request
+    counts (used by fast test parameterisations).
+    """
+    if policies is None:
+        policies = list(POLICIES)
+    oracle = InvariantOracle()
+    outcomes: List[ScenarioOutcome] = []
+    cells: List[CellScore] = []
+    for workload_name in workloads:
+        workload = WORKLOADS[workload_name]
+        if n_requests is not None:
+            workload = replace(workload, n_requests=n_requests)
+        for family in families:
+            scenarios = generate_scenarios(workload, family, seed, scenarios_per_family)
+            by_policy: Dict[str, List[ScenarioOutcome]] = {p: [] for p in policies}
+            for scenario in scenarios:
+                for policy_name in policies:
+                    outcome = run_scenario(workload, scenario, policy_name)
+                    if verify_determinism:
+                        rerun = run_scenario(workload, scenario, policy_name,
+                                             check=False)
+                        outcome.violations.extend(
+                            oracle.check_determinism(outcome, rerun)
+                        )
+                    outcomes.append(outcome)
+                    by_policy[policy_name].append(outcome)
+            for policy_name in policies:
+                cells.append(
+                    _score_cell(workload.name, family, policy_name,
+                                by_policy[policy_name])
+                )
+    return CampaignResult(
+        seed=seed,
+        scenarios_per_family=scenarios_per_family,
+        outcomes=outcomes,
+        cells=cells,
+    )

@@ -1,0 +1,71 @@
+"""Mitigation policies: what a system *does* about a stutter.
+
+The paper's Section 3 argument is that the right reaction to a
+performance fault depends on recognising it as one: a fail-stop design
+only has "declare it dead and retry elsewhere" (a timeout), while a
+fail-stutter design can keep using the degraded component at its
+delivered rate.  This package packages that spectrum as pluggable
+policies the fault-campaign engine (:mod:`repro.faults.campaign`) scores
+against each other under whole *families* of fault scenarios:
+
+=====================  =====================================================
+Policy                 Reaction model
+=====================  =====================================================
+fixed-timeout          Fail-stop thinking: any request slower than a fixed
+                       T is treated as lost and re-issued on a mirror.
+adaptive-timeout       The same reflex, but T chases observed latency
+                       (Jacobson mean + k*dev), so a stutter inflates the
+                       timeout instead of triggering a retry storm.
+retry-backoff          Fixed timeout with exponential per-request backoff:
+                       each spurious retry waits twice as long.
+hedged                 Shasha & Turek slow-down tolerance: after a hedge
+                       delay, duplicate the request once; first result
+                       wins, the loser is wasted work.
+stutter-aware          Fail-stutter scheduling: per-component detectors fed
+                       by the telemetry bus estimate delivered rates, and
+                       requests route to the least *expected delay*; slow
+                       components are used, never declared dead.
+=====================  =====================================================
+
+Every policy speaks the same small interface
+(:class:`~repro.policy.base.MitigationPolicy`): the campaign engine calls
+``start`` once per request and reports attempt completions/failures back;
+policies route attempts through the engine, which keeps the work
+accounting (and therefore the invariant oracle) outside policy code.
+"""
+
+from .base import MitigationPolicy
+from .hedge import HedgedRequestPolicy
+from .stutter import StutterAwarePolicy
+from .timeout import AdaptiveTimeoutPolicy, FixedTimeoutPolicy, RetryBackoffPolicy
+
+__all__ = [
+    "MitigationPolicy",
+    "FixedTimeoutPolicy",
+    "AdaptiveTimeoutPolicy",
+    "RetryBackoffPolicy",
+    "HedgedRequestPolicy",
+    "StutterAwarePolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+#: Name -> zero-argument factory for the standard policy roster the
+#: campaign engine compares.  Order is presentation order in scorecards.
+POLICIES = {
+    FixedTimeoutPolicy.name: FixedTimeoutPolicy,
+    AdaptiveTimeoutPolicy.name: AdaptiveTimeoutPolicy,
+    RetryBackoffPolicy.name: RetryBackoffPolicy,
+    HedgedRequestPolicy.name: HedgedRequestPolicy,
+    StutterAwarePolicy.name: StutterAwarePolicy,
+}
+
+
+def make_policy(name: str) -> MitigationPolicy:
+    """A fresh instance of the named standard policy."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        known = ", ".join(POLICIES)
+        raise KeyError(f"no policy {name!r}; known: {known}") from None
+    return factory()

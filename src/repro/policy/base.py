@@ -1,0 +1,102 @@
+"""The mitigation-policy interface the campaign engine drives.
+
+A policy never touches a server directly.  All attempts flow through the
+engine (``engine.attempt``), which owns the work accounting -- issued,
+completed, claimed, wasted -- so the invariant oracle audits engine
+counters rather than trusting whatever a policy claims about itself.  A
+policy that tries to cheat (resolving requests it never served, or
+simply never routing them) is caught by the oracle, which is exactly the
+failure mode the campaign tests plant on purpose.
+
+Engine surface available to policies (see
+:class:`repro.faults.campaign.CampaignEngine`):
+
+``engine.now`` / ``engine.call_later(delay, fn, *args)``
+    Simulation clock and timer, for timeout/hedge scheduling.
+``engine.attempt(request, name) -> bool``
+    Issue one attempt on the named component.  False (nothing issued)
+    when that component has already fail-stopped.
+``engine.live_candidates(request)`` / ``engine.pick_candidate(request)``
+    The request's replica group filtered to live members; the default
+    pick prefers untried members, then the shortest queue, then name.
+``engine.queue_depth(name)`` / ``engine.expected_service``
+    Backlog (queued + in service) and the nominal one-request service
+    time, for load-aware routing and timeout scaling.
+``engine.give_up(request)``
+    Resolve a request as failed (no live replica remains).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..faults.campaign import CampaignEngine, Request
+
+__all__ = ["MitigationPolicy"]
+
+
+class MitigationPolicy:
+    """Base policy: route every request once, retry only on fail-stop.
+
+    This base class *is* a meaningful policy -- "no mitigation": send
+    each request to the least-loaded live replica and react only to
+    detectable failures.  Subclasses layer timeouts, hedging or
+    stutter-aware routing on top by overriding :meth:`start` and the two
+    notification hooks.
+
+    Policies are single-use: the engine constructs a fresh instance per
+    scenario run (via the factories in :data:`repro.policy.POLICIES`), so
+    instance state never leaks between runs -- a requirement for the
+    oracle's byte-identical-rerun check.
+    """
+
+    #: Scorecard / CLI identifier.  Subclasses must override.
+    name = "no-mitigation"
+
+    def bind(self, engine: "CampaignEngine") -> None:
+        """Called once, before any request, with the scenario engine.
+
+        Subclasses that need per-run state (estimators, detector
+        bindings) build it here; they must call ``super().bind(engine)``.
+        """
+        self.engine = engine
+
+    def start(self, request: "Request") -> None:
+        """Route the first attempt for ``request``."""
+        if not self.engine.attempt(request, self.pick(request)):
+            self.retry_elsewhere(request)
+
+    def pick(self, request: "Request") -> str:
+        """Choose the replica for the next attempt (override to re-route)."""
+        candidate = self.engine.pick_candidate(request)
+        if candidate is None:
+            # No live replica: attempt() on a stopped name reports False
+            # and the caller falls through to retry_elsewhere/give_up.
+            return request.group[0]
+        return candidate
+
+    # -- engine notifications ------------------------------------------------------
+
+    def on_attempt_completed(
+        self, request: "Request", component: str, elapsed: float, claimed: bool
+    ) -> None:
+        """An attempt finished (``claimed`` False means duplicate/wasted)."""
+
+    def on_attempt_failed(self, request: "Request", component: str) -> None:
+        """An attempt died detectably (the component fail-stopped)."""
+        if not request.resolved and request.outstanding == 0:
+            self.retry_elsewhere(request)
+
+    # -- shared fail-stop reaction -------------------------------------------------
+
+    def retry_elsewhere(self, request: "Request") -> None:
+        """Re-issue on any live replica; give up when none remain."""
+        engine = self.engine
+        candidate = engine.pick_candidate(request)
+        while candidate is not None:
+            if engine.attempt(request, candidate):
+                return
+            candidate = engine.pick_candidate(request)
+        if not request.resolved and request.outstanding == 0:
+            engine.give_up(request)

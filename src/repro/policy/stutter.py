@@ -1,0 +1,81 @@
+"""Stutter-aware scheduling: the paper's prescription, as a policy.
+
+Section 3 of the paper: a fail-stutter design keeps *using* a degraded
+component at whatever rate it actually delivers, instead of declaring it
+dead at a timeout.  This policy implements that with the PR-4 machinery:
+every replica gets a :class:`~repro.core.component.DetectorBinding`
+(a :class:`~repro.core.detection.ThresholdDetector` on the component's
+own spec, fed by completion telemetry), and the policy subscribes to the
+resulting ``spec-violation`` records on the :class:`TelemetryBus`.  A
+violation flips the replica into "believe the measured rate" mode;
+routing then sends each request to the member with the least *expected
+delay* -- backlog plus service at the believed rate.
+
+There are no timers: slowness is never punished with duplicates, so the
+policy wastes no work under pure stutters, while detectable fail-stops
+still trigger the base-class retry-on-mirror reaction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..sim.trace import SPEC_VIOLATION
+from .base import MitigationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..core.component import DetectorBinding
+    from ..faults.campaign import Request
+
+__all__ = ["StutterAwarePolicy"]
+
+
+class StutterAwarePolicy(MitigationPolicy):
+    """Route by expected delay under detector-estimated delivered rates."""
+
+    name = "stutter-aware"
+
+    def bind(self, engine) -> None:
+        super().bind(engine)
+        self.bindings: Dict[str, "DetectorBinding"] = {}
+        #: Replicas currently in "degraded" mode, flipped by bus
+        #: spec-violation records and cleared when the detector recovers.
+        self.degraded: Dict[str, bool] = {}
+        self.violations_seen = 0
+        bus = engine.system.telemetry
+        for name in engine.component_names():
+            self.bindings[name] = engine.system.watch(name)
+            self.degraded[name] = False
+            bus.subscribe(name, self._on_record)
+
+    def _on_record(self, record) -> None:
+        if record.kind != SPEC_VIOLATION:
+            return
+        self.violations_seen += 1
+        self.degraded[record.subject] = True
+
+    def believed_rate(self, name: str) -> float:
+        """The rate this policy plans around for one replica."""
+        binding = self.bindings[name]
+        if self.degraded[name]:
+            if not binding.faulty:
+                # Detector verdict cleared: trust nominal again.
+                self.degraded[name] = False
+            else:
+                estimate = binding.detector.estimated_rate
+                if estimate is not None and estimate > 0:
+                    return estimate
+        return self.engine.nominal_rate
+
+    def pick(self, request: "Request") -> str:
+        candidates = self.engine.live_candidates(request)
+        if not candidates:
+            return request.group[0]
+        work = request.work
+        return min(
+            candidates,
+            key=lambda name: (
+                (self.engine.queue_depth(name) + 1) * work / self.believed_rate(name),
+                name,
+            ),
+        )

@@ -324,6 +324,25 @@ class LatencyRecorder:
             return estimator.value()
         return self._quantile(self._ordered(), q)
 
+    def count_over(self, threshold: float) -> int:
+        """How many recorded latencies exceed ``threshold``.
+
+        This is the SLO-violation count the campaign scorecards report
+        (a request violates a latency SLO when it takes strictly longer
+        than the SLO).  Answered with one bisect over the cached sorted
+        view; exact mode only -- the streaming recorder does not retain
+        samples, so it cannot answer an arbitrary threshold after the
+        fact.
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        if self.streaming:
+            raise ValueError(
+                "count_over needs retained samples; use streaming=False"
+            )
+        ordered = self._ordered()
+        return len(ordered) - bisect_right(ordered, threshold)
+
     def summary(self) -> LatencySummary:
         """Full summary of the recorded latencies.
 

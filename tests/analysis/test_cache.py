@@ -203,6 +203,36 @@ class TestResultCache:
         path.write_text(json.dumps(payload))
         assert cache.get("x1", "fscpkg.exp") is None
 
+    def test_mid_byte_truncation_is_a_miss_at_every_offset(
+        self, tmp_path, fake_package
+    ):
+        """A crash mid-write can leave any prefix of the entry on disk.
+
+        Every cut that lands inside the JSON document must read as a
+        miss -- never an exception.  (The only prefix that is still a
+        complete document is the full entry minus its trailing newline,
+        so the sweep stops one byte short of that.)
+        """
+        cache = ResultCache(tmp_path / "c", package="fscpkg")
+        key = cache.key_for("x1", "fscpkg.exp")
+        path = cache.put("x1", "fscpkg.exp", self._table(), key=key)
+        blob = path.read_bytes()
+        assert blob.endswith(b"}\n")
+        for cut in range(len(blob) - 1):
+            path.write_bytes(blob[:cut])
+            assert cache.get("x1", "fscpkg.exp", key=key) is None, f"cut={cut}"
+        # The caller's recompute + put repairs the entry in place.
+        cache.put("x1", "fscpkg.exp", self._table(), key=key)
+        got = cache.get("x1", "fscpkg.exp", key=key)
+        assert got is not None and got.digest() == self._table().digest()
+
+    def test_non_utf8_entry_is_a_miss(self, tmp_path, fake_package):
+        """Binary garbage (UnicodeDecodeError) reads as a miss too."""
+        cache = ResultCache(tmp_path / "c", package="fscpkg")
+        path = cache.put("x1", "fscpkg.exp", self._table())
+        path.write_bytes(b"\xff\xfe\x00garbage")
+        assert cache.get("x1", "fscpkg.exp") is None
+
     def test_wipe(self, tmp_path, fake_package):
         cache = ResultCache(tmp_path / "c", package="fscpkg")
         cache.put("x1", "fscpkg.exp", self._table())

@@ -1,0 +1,135 @@
+"""No experiment module lands untested.
+
+The determinism suite parametrises over ``ALL_EXPERIMENTS``, so a new
+module that registers is exercised there -- but only if it registers,
+and registry coverage alone says nothing about *shape*.  These checks
+close both gaps structurally, by AST rather than by import side-effects:
+
+* every ``e*/a*`` module under ``src/repro/experiments/`` must be
+  registered in ``ALL_EXPERIMENTS`` and carry a ``CLAIMS`` entry;
+* every module must be referenced by name from at least one test file
+  under ``tests/`` (the shape/determinism tests import the modules they
+  assert about), so adding ``e27_foo.py`` without a test fails CI.
+
+The negative case plants a phantom experiment module in a temporary
+tree and asserts the checker actually flags it -- the check is tested,
+not just trusted.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXPERIMENTS_DIR = REPO_ROOT / "src" / "repro" / "experiments"
+TESTS_DIR = REPO_ROOT / "tests"
+
+_MODULE_RE = re.compile(r"^(e\d+|a\d+)_\w+$")
+
+
+def experiment_modules(experiments_dir: Path):
+    """The e*/a* module stems under one experiments directory."""
+    return sorted(
+        path.stem
+        for path in experiments_dir.glob("*.py")
+        if _MODULE_RE.match(path.stem)
+    )
+
+
+def referenced_names(tests_dir: Path):
+    """Every identifier the test tree imports or mentions, via AST."""
+    names = set()
+    for path in tests_dir.rglob("test_*.py"):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module:
+                    names.update(node.module.split("."))
+                names.update(alias.name for alias in node.names)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.update(alias.name.split("."))
+            elif isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+    return names
+
+
+def unreferenced_experiment_modules(experiments_dir: Path, tests_dir: Path):
+    """Experiment modules no test file references by name."""
+    references = referenced_names(tests_dir)
+    return [
+        module
+        for module in experiment_modules(experiments_dir)
+        if module not in references
+    ]
+
+
+def _registered_modules():
+    """Module stems wired into ALL_EXPERIMENTS, read from the AST."""
+    tree = ast.parse((EXPERIMENTS_DIR / "__init__.py").read_text())
+    registered = set()
+    for node in ast.walk(tree):
+        if not isinstance(node.value if hasattr(node, "value") else None, ast.Dict):
+            continue
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+        else:
+            continue
+        if "ALL_EXPERIMENTS" not in targets:
+            continue
+        for value in node.value.values:
+            if isinstance(value, ast.Attribute) and isinstance(value.value, ast.Name):
+                registered.add(value.value.id)
+    return registered
+
+
+def _claim_ids():
+    """Experiment ids carrying a CLAIMS entry, read from the AST."""
+    tree = ast.parse((EXPERIMENTS_DIR / "report.py").read_text())
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict)):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "CLAIMS" in targets:
+            return {
+                key.value
+                for key in node.value.keys
+                if isinstance(key, ast.Constant)
+            }
+    raise AssertionError("no CLAIMS dict found in report.py")
+
+
+class TestCoverageCompleteness:
+    def test_every_module_is_referenced_by_a_test(self):
+        missing = unreferenced_experiment_modules(EXPERIMENTS_DIR, TESTS_DIR)
+        assert missing == [], (
+            f"experiment modules with no referencing test: {missing}; add a "
+            "shape test (and a FAST_PARAMS entry if the default run is slow)"
+        )
+
+    def test_every_module_is_registered(self):
+        modules = set(experiment_modules(EXPERIMENTS_DIR))
+        assert modules == _registered_modules()
+
+    def test_every_module_has_a_claim(self):
+        ids = {module.split("_")[0] for module in experiment_modules(EXPERIMENTS_DIR)}
+        claims = _claim_ids()
+        assert ids == claims
+
+    def test_negative_case_flags_a_phantom_module(self, tmp_path):
+        """The checker itself must fail when a module lands untested."""
+        experiments = tmp_path / "experiments"
+        tests = tmp_path / "tests"
+        experiments.mkdir()
+        tests.mkdir()
+        (experiments / "e98_known.py").write_text("def run():\n    pass\n")
+        (experiments / "e99_phantom.py").write_text("def run():\n    pass\n")
+        (experiments / "helpers.py").write_text("")  # not an experiment
+        (tests / "test_known.py").write_text(
+            "from repro.experiments import e98_known\n"
+        )
+        assert unreferenced_experiment_modules(experiments, tests) == ["e99_phantom"]

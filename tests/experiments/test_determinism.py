@@ -22,6 +22,14 @@ FAST_PARAMS = {
     "e22": {"n_records": 80},
     "e23": {"n_ops": 300},
     "e24": {"n_frames": 60},
+    # e26 already reruns every scenario internally for its oracle; the
+    # outer determinism check runs a reduced sweep without that doubling.
+    "e26": {
+        "scenarios_per_family": 1,
+        "families": ("correlated", "failstop"),
+        "n_requests": 120,
+        "verify_determinism": False,
+    },
     "a2": {"n_requests": 150},
     "a4": {"block_counts": (100,)},
     "a6": {"throttles": (0.0, 2.0), "blocks": 330},

@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.experiments import e01_raid10, e11_cpuhog, e12_dht, e22_river
+from repro.experiments import e01_raid10, e11_cpuhog, e12_dht, e22_river, e26_campaign
+
+pytestmark = pytest.mark.slow
 
 
 class TestSeedRobustness:
@@ -24,6 +26,27 @@ class TestSeedRobustness:
         p99 = dict(zip(table.column("configuration"), table.column("p99 (s)")))
         assert p99["GC, hashed"] > 5 * p99["no GC, hashed"]
         assert p99["GC, adaptive placement"] < 0.5 * p99["GC, hashed"]
+
+    @pytest.mark.parametrize("seed", [3, 17, 99])
+    def test_e26_shape_across_seeds(self, seed):
+        table = e26_campaign.run(
+            seed=seed, scenarios_per_family=1, n_requests=160,
+            verify_determinism=False,
+        )
+        cells = {
+            (w, f, p): m
+            for w, f, p, m in zip(
+                table.column("workload"), table.column("family"),
+                table.column("policy"), table.column("mean_s"),
+            )
+        }
+        for workload in ("raid10", "dht"):
+            fixed = cells[(workload, "correlated", "fixed-timeout")]
+            aware = cells[(workload, "correlated", "stutter-aware")]
+            assert aware < 0.8 * fixed
+            stop_fixed = cells[(workload, "failstop", "fixed-timeout")]
+            stop_aware = cells[(workload, "failstop", "stutter-aware")]
+            assert abs(stop_aware - stop_fixed) <= 0.25 * stop_fixed
 
     @pytest.mark.parametrize("n_records", [80, 120, 200])
     def test_e22_shape_across_sizes(self, n_records):

@@ -1,0 +1,133 @@
+"""Property tests for lazy-cancel timers at equal timestamps (hypothesis).
+
+:meth:`Timeout.cancel` leaves the heap entry in place and the scheduler
+skips it for free on pop.  The scheduler breaks timestamp ties by
+insertion sequence, so these tests pin down the contract the campaign
+policies (and :class:`RateServer`) lean on:
+
+* a cancelled callback never fires, no matter how it interleaves with
+  live entries at the same instant;
+* cancellation does not disturb the FIFO order of the survivors that
+  share its timestamp -- including when the canceller is itself a
+  callback running at that very timestamp;
+* the whole dance is deterministic: replaying the same operation
+  sequence reproduces the identical firing trace.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+# Few distinct instants, many callbacks: maximum tie pressure.
+TIMES = (1.0, 1.0, 1.0, 2.0, 2.0, 3.0)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("sched"), st.integers(0, len(TIMES) - 1)),
+        st.tuples(st.just("cancel"), st.integers(0, 63)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _run_operations(ops):
+    """Apply a drawn op sequence; return (fired trace, cancelled serials).
+
+    ``("sched", i)`` registers the next serial at ``TIMES[i]`` via
+    ``call_at``; ``("cancel", r)`` cancels an already-registered handle
+    chosen by ``r`` (idempotently -- duplicates are allowed).
+    """
+    sim = Simulator()
+    fired = []
+    handles = []
+    times = []
+    cancelled = set()
+    for op, value in ops:
+        if op == "sched":
+            when = TIMES[value]
+            serial = len(handles)
+            handles.append(sim.call_at(when, fired.append, (when, serial)))
+            times.append(when)
+        elif handles:
+            target = value % len(handles)
+            handles[target].cancel()
+            cancelled.add(target)
+    sim.run()
+    return fired, times, cancelled
+
+
+class TestEqualTimestampCancellation:
+    @given(operations)
+    @settings(max_examples=80)
+    def test_survivors_fire_in_fifo_order_and_cancelled_never_fire(self, ops):
+        fired, times, cancelled = _run_operations(ops)
+        expected = sorted(
+            (
+                (when, serial)
+                for serial, when in enumerate(times)
+                if serial not in cancelled
+            ),
+            key=lambda entry: entry[0],  # stable: ties keep creation order
+        )
+        assert fired == expected
+
+    @given(operations)
+    @settings(max_examples=40)
+    def test_same_operation_sequence_same_trace(self, ops):
+        assert _run_operations(ops) == _run_operations(ops)
+
+
+class TestMidRunCancellation:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, len(TIMES) - 1),  # timestamp slot
+                st.one_of(st.none(), st.integers(0, 63)),  # cancel target
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=80)
+    def test_cancel_from_inside_a_same_timestamp_callback(self, plan):
+        """A callback that cancels a peer scheduled at its own timestamp.
+
+        The victim may sit *behind* the canceller in the same instant's
+        FIFO run -- already popped entries must be left alone, pending
+        ones must be skipped, and everyone else keeps their order.
+        """
+        sim = Simulator()
+        fired = []
+        handles = []
+
+        def fire(serial, target):
+            fired.append(serial)
+            if target is not None:
+                victim = handles[target % len(handles)]
+                if not victim.processed:  # cancel() on a fired timer raises
+                    victim.cancel()
+
+        for serial, (slot, target) in enumerate(plan):
+            handles.append(sim.call_at(TIMES[slot], fire, serial, target))
+        sim.run()
+
+        # Reference model: stable sort by timestamp, then replay the
+        # cancellations against a pending-set.
+        order = sorted(range(len(plan)), key=lambda serial: TIMES[plan[serial][0]])
+        done = set()
+        dead = set()
+        expected = []
+        for serial in order:
+            if serial in dead:
+                continue
+            done.add(serial)
+            expected.append(serial)
+            target = plan[serial][1]
+            if target is not None:
+                victim = target % len(plan)
+                if victim not in done:
+                    dead.add(victim)
+        assert fired == expected
+        assert not set(fired) & dead

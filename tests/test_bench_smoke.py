@@ -12,6 +12,10 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
@@ -68,3 +72,14 @@ def test_perf_report_models_suite_smoke_mode():
     assert result.returncode == 0, result.stdout + result.stderr
     assert "models suite: ok" in result.stdout
     assert "identical=False" not in result.stdout
+
+
+def test_perf_report_campaign_suite_smoke_mode():
+    """The campaign suite runs a reduced sweep once and verifies a clean
+    oracle plus a byte-identical in-process rerun."""
+    result = _run(
+        [sys.executable, "scripts/perf_report.py", "--suite", "campaign", "--smoke"]
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "campaign suite: ok" in result.stdout
+    assert "clean=True" in result.stdout and "identical=True" in result.stdout

@@ -43,3 +43,17 @@ class TestCli:
         out = capsys.readouterr().out
         assert out.count("## ") == len(ALL_EXPERIMENTS)
         assert "Paper:" in out and "Measured:" in out
+
+    def test_campaign_prints_scorecard_and_digest(self, capsys):
+        argv = [
+            "campaign", "--seed", "7", "--scenarios", "1",
+            "--workloads", "raid10", "--families", "failstop", "--no-verify",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fault-campaign scorecard" in out
+        assert "scorecard digest: " in out
+
+    def test_campaign_unknown_family_fails(self, capsys):
+        assert main(["campaign", "--families", "gc-pause"]) == 2
+        assert "unknown" in capsys.readouterr().err
