@@ -1,0 +1,28 @@
+"""Benchmark E27: hybrid engine exactness and million-client scale."""
+
+from conftest import regenerate
+
+from repro.experiments import e27_hybrid_scale
+
+
+def test_e27_hybrid_scale(benchmark):
+    # Bench-sized: one policy pair per workload and 100k clients keeps
+    # the regeneration fast while still exercising every row kind
+    # (discrete baseline, hybrid overlap, hybrid scale + replay).
+    table = regenerate(
+        benchmark,
+        e27_hybrid_scale.run,
+        overlap_requests=1200,
+        scale_requests=100_000,
+        policies=("fixed-timeout", "stutter-aware"),
+    )
+    checks = table.column("check")
+    engines = table.column("engine")
+    # Every hybrid overlap row must certify exactness against discrete,
+    # and every scale row must be digest-stable on rerun.
+    assert checks.count("exact") == engines.count("hybrid") // 2
+    assert checks.count("replay-ok") == engines.count("hybrid") // 2
+    assert "DIVERGED" not in checks and "REPLAY-DIFF" not in checks
+    assert all(o in ("ok", "--") for o in table.column("oracle"))
+    # The scale rows actually ran at scale.
+    assert max(table.column("clients")) == 100_000

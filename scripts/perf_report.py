@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Time the benchmark suites and emit JSON reports.
 
-Four suites, selected with ``--suite``:
+Five suites, selected with ``--suite``:
 
 * ``engine`` (default) -- the kernel microbenchmarks, timed as
   baseline-vs-after (``BENCH_engine.json``);
@@ -14,7 +14,11 @@ Four suites, selected with ``--suite``:
   process, asserting bit-identical checksums (``BENCH_models.json``);
 * ``campaign`` -- the fault-campaign engine: scenario-run throughput for
   the standard e26 sweep plus an in-process byte-identical rerun check
-  (``BENCH_campaign.json``).
+  (``BENCH_campaign.json``);
+* ``hybrid`` -- the fluid/discrete engine: discrete-vs-hybrid wall clock
+  on overlap sizes both engines can run (outcomes must match; the
+  recorded speedup must clear 20x) plus hybrid-only timings at a million
+  concurrent clients (``BENCH_hybrid.json``).
 
 Usage (from the repo root)::
 
@@ -37,6 +41,9 @@ Usage (from the repo root)::
 
     # Regenerate the fault-campaign numbers:
     PYTHONPATH=src python scripts/perf_report.py --suite campaign
+
+    # Regenerate the hybrid-engine numbers (discrete vs fluid/discrete):
+    PYTHONPATH=src python scripts/perf_report.py --suite hybrid
 
     # Smoke mode (CI): run every workload once, no timing claims:
     PYTHONPATH=src python scripts/perf_report.py --smoke
@@ -207,6 +214,119 @@ def run_campaign_suite(args) -> int:
     return 0
 
 
+def run_hybrid_suite(args) -> int:
+    """Time the hybrid engine against the discrete engine, then at scale.
+
+    Overlap sizes (both engines can run them) are timed head-to-head on
+    the same scenario and seed; the outcomes must agree on every count
+    and work total, and the worst-case speedup must clear 20x.  Scale
+    rows then time the hybrid engine alone at a million concurrent
+    clients per workload.  Writes ``BENCH_hybrid.json``; smoke mode runs
+    one small head-to-head with no timing claims.
+    """
+    from repro.core.hybrid import run_scenario_hybrid, scale_scenario, scale_workload
+    from repro.faults import campaign
+
+    seed, family, policy = 7, "magnitude", "fixed-timeout"
+
+    def agrees(d, h) -> bool:
+        if (d.n_requests, d.slo_violations, d.failed_requests) != (
+            h.n_requests, h.slo_violations, h.failed_requests
+        ):
+            return False
+        return all(
+            abs(getattr(d, f) - getattr(h, f)) <= 1e-9
+            for f in ("issued_work", "completed_work", "wasted_work")
+        )
+
+    def head_to_head(name: str, n_requests: int, repeats: int = 1):
+        workload = scale_workload(campaign.WORKLOADS[name], n_requests)
+        scenario = scale_scenario(workload, family, seed, 0)
+        discrete_s = hybrid_s = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            discrete = campaign.run_scenario(workload, scenario, policy)
+            discrete_s = min(discrete_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            hybrid = run_scenario_hybrid(workload, scenario, policy)
+            hybrid_s = min(hybrid_s, time.perf_counter() - start)
+        clean = not discrete.violations and not hybrid.violations
+        return {
+            "workload": name,
+            "requests": n_requests,
+            "discrete_seconds": discrete_s,
+            "hybrid_seconds": hybrid_s,
+            "speedup": discrete_s / hybrid_s if hybrid_s else float("inf"),
+            "outcomes_match": agrees(discrete, hybrid),
+            "oracle_clean": clean,
+        }
+
+    if args.smoke:
+        entry = head_to_head("dht", 2400)
+        if not (entry["outcomes_match"] and entry["oracle_clean"]):
+            print("hybrid suite smoke FAILED", file=sys.stderr)
+            return 1
+        print("  hybrid suite: ok")
+        return 0
+
+    overlap = {}
+    ok = True
+    print("timing discrete vs hybrid (same scenario, same seed, "
+          f"policy={policy!r}, best of {args.repeats}):")
+    for name, n_requests in (("dht", 20_000), ("dht", 60_000),
+                             ("raid10", 20_000)):
+        entry = head_to_head(name, n_requests, repeats=args.repeats)
+        ok = ok and entry["outcomes_match"] and entry["oracle_clean"]
+        overlap[f"{name}_{n_requests}"] = entry
+        print(f"  {name:8s} n={n_requests:<7d} discrete "
+              f"{entry['discrete_seconds']:7.2f} s  hybrid "
+              f"{entry['hybrid_seconds']:7.3f} s  "
+              f"{entry['speedup']:6.1f}x  match={entry['outcomes_match']}")
+
+    scale = {}
+    print("timing hybrid alone at a million clients:")
+    for name in ("raid10", "dht"):
+        workload = scale_workload(campaign.WORKLOADS[name], 1_000_000)
+        scenario = scale_scenario(workload, family, seed, 0)
+        start = time.perf_counter()
+        outcome = run_scenario_hybrid(workload, scenario, policy)
+        seconds = time.perf_counter() - start
+        clean = not outcome.violations
+        ok = ok and clean
+        scale[name] = {
+            "clients": 1_000_000,
+            "seconds": seconds,
+            "discrete_requests": outcome.n_requests,
+            "oracle_clean": clean,
+        }
+        print(f"  {name:8s} 10^6 clients in {seconds:7.3f} s "
+              f"({outcome.n_requests} requests resolved, clean={clean})")
+
+    min_speedup = min(e["speedup"] for e in overlap.values())
+    meets_target = min_speedup >= 20.0
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "policy": policy,
+        "scenario_family": family,
+        "overlap": overlap,
+        "scale": scale,
+        "min_speedup": min_speedup,
+        "speedup_target": 20.0,
+        "meets_target": meets_target,
+    }
+    out = args.out or "BENCH_hybrid.json"
+    Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(f"  worst-case speedup      {min_speedup:6.1f}x "
+          f"(target 20x: {'met' if meets_target else 'MISSED'})")
+    if not ok:
+        print("hybrid suite FAILED: outcome mismatch or oracle violation",
+              file=sys.stderr)
+        return 1
+    return 0 if meets_target else 1
+
+
 def run_models_suite(args) -> int:
     """Time the component-model hot paths against their retained
     reference implementations and write ``BENCH_models.json``.
@@ -289,12 +409,14 @@ def run_models_suite(args) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--suite", choices=("engine", "report", "models", "campaign"),
+    parser.add_argument("--suite",
+                        choices=("engine", "report", "models", "campaign", "hybrid"),
                         default="engine",
                         help="engine microbenchmarks (default), full-report "
                              "regeneration timings, component-model "
-                             "reference-vs-analytic timings, or fault-campaign "
-                             "throughput + determinism")
+                             "reference-vs-analytic timings, fault-campaign "
+                             "throughput + determinism, or hybrid-engine "
+                             "discrete-vs-fluid timings")
     parser.add_argument("--save", metavar="PATH", help="write raw timings to PATH")
     parser.add_argument("--baseline", metavar="PATH", help="baseline timings to compare against")
     parser.add_argument("--out", metavar="PATH", default=None,
@@ -324,6 +446,8 @@ def main(argv=None) -> int:
         return run_models_suite(args)
     if args.suite == "campaign":
         return run_campaign_suite(args)
+    if args.suite == "hybrid":
+        return run_hybrid_suite(args)
 
     from engine_workloads import WORKLOADS
 

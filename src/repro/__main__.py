@@ -74,6 +74,7 @@ def _cmd_campaign(args) -> int:
         policies=tuple(args.policies),
         scenarios_per_family=args.scenarios,
         verify_determinism=not args.no_verify,
+        engine=args.engine,
     )
     table = result.table()
     print(table.render())
@@ -139,6 +140,11 @@ def main(argv=None) -> int:
     campaign_parser.add_argument(
         "--no-verify", action="store_true",
         help="skip the oracle's same-seed rerun (halves runtime)",
+    )
+    campaign_parser.add_argument(
+        "--engine", choices=["discrete", "hybrid"], default="discrete",
+        help="execution engine: exact event simulation, or fluid "
+             "fast-forwarding between fault windows (default: discrete)",
     )
     args = parser.parse_args(argv)
     if args.command == "list":

@@ -44,6 +44,7 @@ __all__ = [
     "module_closure",
     "source_digest",
     "default_cache_dir",
+    "ClosureScan",
     "ResultCache",
 ]
 
@@ -89,68 +90,96 @@ def canonical_kwargs(kwargs: Optional[Dict[str, Any]]) -> str:
 # -- source closure and digest ----------------------------------------------
 
 
-def _module_file(name: str) -> Optional[str]:
-    """Path of ``name``'s source file, or None if it has no file."""
+def _find_spec(name: str):
     try:
-        spec = importlib.util.find_spec(name)
+        return importlib.util.find_spec(name)
     except (ImportError, AttributeError, ValueError):
         return None
-    if spec is None or spec.origin is None or not spec.has_location:
-        return None
-    return spec.origin
 
 
-def _is_package(name: str) -> bool:
-    try:
-        spec = importlib.util.find_spec(name)
-    except (ImportError, AttributeError, ValueError):
-        return False
-    return spec is not None and spec.submodule_search_locations is not None
+class ClosureScan:
+    """Memoized spec/parse lookups shared across several closure walks.
 
+    One experiment's closure walk resolves and parses each module it
+    reaches; a suite of experiments re-reaches mostly the *same*
+    modules, so the runner shares one scan across all of its key
+    computations.  The scan is a point-in-time snapshot: sharing it
+    assumes the sources do not change between the walks it serves, which
+    is exactly the assumption a single walk already makes about the
+    files it reads.  Never reuse a scan across a source edit -- make a
+    fresh one (as every un-scanned :func:`module_closure` call does).
+    """
 
-def _resolve_relative(module: str, level: int, target: Optional[str]) -> Optional[str]:
-    """Absolute module named by ``from <level dots><target> import ...``."""
-    base = module if _is_package(module) else module.rpartition(".")[0]
-    for _ in range(level - 1):
-        if "." not in base:
-            return None
-        base = base.rpartition(".")[0]
-    return f"{base}.{target}" if target else base
+    def __init__(self):
+        self._files: Dict[str, Optional[str]] = {}
+        self._packages: Dict[str, bool] = {}
+        self._imports: Dict[str, List[str]] = {}
+
+    def module_file(self, name: str) -> Optional[str]:
+        """Path of ``name``'s source file, or None if it has no file."""
+        if name not in self._files:
+            spec = _find_spec(name)
+            ok = spec is not None and spec.origin is not None and spec.has_location
+            self._files[name] = spec.origin if ok else None
+        return self._files[name]
+
+    def is_package(self, name: str) -> bool:
+        if name not in self._packages:
+            spec = _find_spec(name)
+            self._packages[name] = (
+                spec is not None and spec.submodule_search_locations is not None
+            )
+        return self._packages[name]
+
+    def imported_modules(self, module: str, source: str, root: str) -> List[str]:
+        """Absolute in-``root`` module names imported by ``module``'s source."""
+        if module in self._imports:
+            return self._imports[module]
+        found: List[str] = []
+
+        def add(candidate: Optional[str]) -> None:
+            if candidate and _in_root(candidate, root) and self.module_file(candidate):
+                found.append(candidate)
+
+        tree = ast.parse(source)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    target = self._resolve_relative(module, node.level, node.module)
+                else:
+                    target = node.module
+                if target is None:
+                    continue
+                add(target)
+                # `from pkg import sub` binds a *submodule* when sub is one;
+                # track it so edits to sub invalidate this module's users.
+                for alias in node.names:
+                    add(f"{target}.{alias.name}")
+        self._imports[module] = found
+        return found
+
+    def _resolve_relative(
+        self, module: str, level: int, target: Optional[str]
+    ) -> Optional[str]:
+        """Absolute module named by ``from <level dots><target> import ...``."""
+        base = module if self.is_package(module) else module.rpartition(".")[0]
+        for _ in range(level - 1):
+            if "." not in base:
+                return None
+            base = base.rpartition(".")[0]
+        return f"{base}.{target}" if target else base
 
 
 def _in_root(name: str, root: str) -> bool:
     return name == root or name.startswith(root + ".")
 
 
-def _imported_modules(module: str, source: str, root: str) -> List[str]:
-    """Absolute in-``root`` module names imported by ``module``'s source."""
-    found: List[str] = []
-
-    def add(candidate: Optional[str]) -> None:
-        if candidate and _in_root(candidate, root) and _module_file(candidate):
-            found.append(candidate)
-
-    tree = ast.parse(source)
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                add(alias.name)
-        elif isinstance(node, ast.ImportFrom):
-            if node.level:
-                target = _resolve_relative(module, node.level, node.module)
-            else:
-                target = node.module
-            if target is None:
-                continue
-            add(target)
-            # `from pkg import sub` binds a *submodule* when sub is one;
-            # track it so edits to sub invalidate this module's users.
-            for alias in node.names:
-                add(f"{target}.{alias.name}")
-    return found
-
-
-def module_closure(module: str, root: str = "repro") -> List[str]:
+def module_closure(
+    module: str, root: str = "repro", scan: Optional[ClosureScan] = None
+) -> List[str]:
     """All in-``root`` modules ``module`` transitively imports (plus itself).
 
     Resolution is static (AST of each source file), so nothing is
@@ -165,14 +194,19 @@ def module_closure(module: str, root: str = "repro") -> List[str]:
     limitation: a name consumed via ``from ..pkg import name`` where
     ``pkg/__init__`` re-exports it from ``pkg.impl`` tracks edits to
     ``pkg/__init__.py`` but not to ``pkg/impl.py``.
+
+    ``scan`` shares spec lookups and parses across walks (see
+    :class:`ClosureScan`); without one the walk resolves everything
+    afresh.
     """
+    scan = scan or ClosureScan()
     seen: set = set()
     stack = [module]
     while stack:
         name = stack.pop()
         if name in seen or not _in_root(name, root):
             continue
-        path = _module_file(name)
+        path = scan.module_file(name)
         if path is None:
             continue
         seen.add(name)
@@ -180,25 +214,28 @@ def module_closure(module: str, root: str = "repro") -> List[str]:
         parent = name.rpartition(".")[0]
         if parent:
             stack.append(parent)
-        if _is_package(name):
+        if scan.is_package(name):
             continue
         try:
             source = Path(path).read_text()
         except OSError:
             continue
-        stack.extend(_imported_modules(name, source, root))
+        stack.extend(scan.imported_modules(name, source, root))
     return sorted(seen)
 
 
-def source_digest(modules: Iterable[str]) -> str:
+def source_digest(
+    modules: Iterable[str], scan: Optional[ClosureScan] = None
+) -> str:
     """SHA-256 over the source bytes of the named modules.
 
     The digest covers module *names* as well as contents, so renaming a
     module changes the key even if its text is byte-identical.
     """
+    scan = scan or ClosureScan()
     digest = hashlib.sha256()
     for name in sorted(set(modules)):
-        path = _module_file(name)
+        path = scan.module_file(name)
         if path is None:
             continue
         digest.update(name.encode("utf-8"))
@@ -244,10 +281,23 @@ class ResultCache:
         self.misses = 0
 
     def key_for(
-        self, experiment: str, module: str, kwargs: Optional[Dict[str, Any]] = None
+        self,
+        experiment: str,
+        module: str,
+        kwargs: Optional[Dict[str, Any]] = None,
+        *,
+        scan: Optional[ClosureScan] = None,
     ) -> str:
-        """The content hash for one (experiment, kwargs, source) state."""
-        digest = source_digest(module_closure(module, root=self.package))
+        """The content hash for one (experiment, kwargs, source) state.
+
+        Pass one :class:`ClosureScan` when keying many experiments in a
+        row: their import closures overlap heavily, and the shared scan
+        resolves and parses each source file once instead of once per
+        experiment.
+        """
+        scan = scan or ClosureScan()
+        digest = source_digest(module_closure(module, root=self.package, scan=scan),
+                               scan=scan)
         payload = f"{experiment}\n{canonical_kwargs(kwargs)}\n{digest}"
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

@@ -21,13 +21,29 @@ and lambdas are not).  With ``workers=None``/``0``/``1`` the sweep runs
 serially in-process and is exactly equivalent to
 :func:`repro.analysis.sweep.sweep` -- experiments default to that, and
 expose a ``workers`` knob for machines with cores to spare.
+
+``workers > 1`` is a *request*, not a command: a pool only pays for
+itself when there are cores to run it on and tasks big enough to
+amortize the fork/IPC cost per point.  :func:`parallel_sweep` therefore
+falls back to the serial path -- after the same picklability check, so a
+sweep that cannot parallelize still fails fast everywhere -- when the
+machine has a single core, or when an in-process probe of the first
+point finishes under :data:`MIN_TASK_SECONDS`.  Results are identical
+either way; only wall-clock changes.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
-__all__ = ["parallel_sweep", "pool_start_method"]
+__all__ = ["parallel_sweep", "pool_start_method", "MIN_TASK_SECONDS"]
+
+#: Per-task compute time below which a pool is a net loss.  Forking a
+#: worker, shipping a point and collecting its result costs on the order
+#: of ten milliseconds; tasks cheaper than this finish faster in-process.
+MIN_TASK_SECONDS = 0.02
 
 
 def pool_start_method() -> str:
@@ -68,29 +84,67 @@ def _check_picklable(run: Callable[[Any], Any]) -> None:
         ) from exc
 
 
-def parallel_sweep(
-    values: Iterable[Any],
-    run: Callable[[Any], Any],
-    workers: Optional[int] = None,
-) -> List[Tuple[Any, Any]]:
-    """Run ``run(value)`` for each value, collecting ordered (value, result).
+def _effective_cores() -> int:
+    """The CPU count the serial-fallback decision sees.
 
-    ``workers`` is the process-pool size; ``None``, ``0`` and ``1`` all
-    mean "serial, in-process" (the safe default -- identical to
-    :func:`repro.analysis.sweep.sweep`).  The pool is capped at the
-    number of points, so requesting more workers than work is harmless.
+    A seam for tests: stubbing this exercises both the one-core fallback
+    and the pool path deterministically on any machine.
     """
-    points = list(values)
-    if not workers or workers <= 1 or len(points) <= 1:
-        return [(value, run(value)) for value in points]
+    return os.cpu_count() or 1
 
+
+def _run_pool(
+    points: List[Any], run: Callable[[Any], Any], n_workers: int
+) -> List[Tuple[Any, Any]]:
+    """Fan ``points`` out over a fresh pool (split out so tests can stub it)."""
     import multiprocessing
 
-    _check_picklable(run)
-    n_workers = min(workers, len(points))
     context = multiprocessing.get_context(pool_start_method())
     # chunksize=1 keeps scheduling fair when points have skewed runtimes
     # (e.g. the stalled-server end of an availability sweep).
     with context.Pool(processes=n_workers) as pool:
         results = pool.map(run, points, chunksize=1)
     return list(zip(points, results))
+
+
+def parallel_sweep(
+    values: Iterable[Any],
+    run: Callable[[Any], Any],
+    workers: Optional[int] = None,
+    min_task_seconds: float = MIN_TASK_SECONDS,
+) -> List[Tuple[Any, Any]]:
+    """Run ``run(value)`` for each value, collecting ordered (value, result).
+
+    ``workers`` is the *requested* process-pool size; ``None``, ``0``
+    and ``1`` all mean "serial, in-process" (the safe default --
+    identical to :func:`repro.analysis.sweep.sweep`).  The pool is
+    capped at the number of points, so requesting more workers than work
+    is harmless.
+
+    A multi-worker request still runs serially when a pool cannot win:
+    on a single-core machine (the pool serialises anyway, plus fork/IPC
+    overhead per point), or when timing the first point in-process shows
+    tasks cheaper than ``min_task_seconds``.  The picklability check
+    runs before either fallback, so an unparallelizable ``run`` fails
+    fast on every machine, not just the ones with cores.
+    """
+    points = list(values)
+    if not workers or workers <= 1 or len(points) <= 1:
+        return [(value, run(value)) for value in points]
+
+    _check_picklable(run)
+    if _effective_cores() <= 1:
+        return [(value, run(value)) for value in points]
+
+    # Probe: the first point runs in-process either way, so its timing
+    # is free.  Determinism is unaffected -- every point is self-seeded,
+    # so where it computes never changes what it computes.
+    start = time.perf_counter()
+    results = [(points[0], run(points[0]))]
+    elapsed = time.perf_counter() - start
+    rest = points[1:]
+    if elapsed < min_task_seconds:
+        results.extend((value, run(value)) for value in rest)
+        return results
+    results.extend(_run_pool(rest, run, min(workers, len(rest))))
+    return results

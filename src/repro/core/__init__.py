@@ -45,6 +45,13 @@ from .formal import (
     trace_of,
 )
 from .hedging import HedgeResult, HedgingScheduler
+from .hybrid import (
+    HybridInfeasible,
+    HybridRunner,
+    run_scenario_hybrid,
+    scale_scenario,
+    scale_workload,
+)
 from .prediction import PredictionOutcome, StutterTrendPredictor, score_predictions
 from .pull import PullScheduler, ScheduleResult
 from .registry import NotificationPolicy, PerformanceStateRegistry, StateReport
@@ -88,6 +95,11 @@ __all__ = [
     "DqResult",
     "HedgingScheduler",
     "HedgeResult",
+    "HybridInfeasible",
+    "HybridRunner",
+    "run_scenario_hybrid",
+    "scale_scenario",
+    "scale_workload",
     "StutterTrendPredictor",
     "PredictionOutcome",
     "score_predictions",

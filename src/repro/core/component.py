@@ -42,7 +42,14 @@ from typing import Any, Dict, Iterator, List, Optional, Protocol, Sequence, runt
 
 from ..faults.model import ComponentState, register_component
 from ..faults.spec import PerformanceSpec
-from ..sim.trace import COMPLETION, SPEC_VIOLATION, STATE_CHANGE, TraceRecord, Tracer
+from ..sim.trace import (
+    COMPLETION,
+    INJECTOR_EVENT,
+    SPEC_VIOLATION,
+    STATE_CHANGE,
+    TraceRecord,
+    Tracer,
+)
 
 __all__ = [
     "SUBSTRATES",
@@ -61,7 +68,7 @@ SUBSTRATES = ("storage", "network", "processor", "cluster", "core")
 
 #: Telemetry record kinds emitted through the bus (and, when a tracer is
 #: attached, into :class:`~repro.sim.trace.Tracer.records`).
-TELEMETRY_KINDS = (COMPLETION, SPEC_VIOLATION, STATE_CHANGE)
+TELEMETRY_KINDS = (COMPLETION, SPEC_VIOLATION, STATE_CHANGE, INJECTOR_EVENT)
 
 
 @runtime_checkable
@@ -181,6 +188,20 @@ class TelemetryBus:
             SPEC_VIOLATION,
             subject,
             {"observed": observed, "threshold": threshold, "source": source},
+        )
+
+    def injector_event(self, subject: str, source: str, action: str,
+                       **detail: Any) -> None:
+        """Announce fault application/restoration on ``subject``.
+
+        ``action`` is ``"attach"``, ``"onset"``, ``"restore"`` or
+        ``"cancel"``; ``source`` names the injector/campaign channel.
+        Hybrid runners rely on these records (together with
+        ``state-change``) to guarantee a fluid segment never spans an
+        un-announced rate change.
+        """
+        self.emit(
+            INJECTOR_EVENT, subject, {"source": source, "action": action, **detail}
         )
 
 

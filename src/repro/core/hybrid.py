@@ -1,0 +1,561 @@
+"""Hybrid fluid/discrete campaign execution.
+
+The discrete campaign engine (:mod:`repro.faults.campaign`) simulates
+every request as heap events, which caps a run at ~10^5 requests.  But a
+campaign spends almost all of its virtual time *between* fault
+transitions, where the replicated workload is a bank of underloaded FIFO
+servers whose behaviour has a closed form: every request is routed the
+same way, served in exactly ``work / rate`` seconds, and triggers no
+policy timer.  :class:`HybridRunner` exploits that: it fast-forwards the
+fault-free stretches analytically through a
+:class:`~repro.sim.fluid.FluidServer` and drops into exact discrete
+simulation only inside a *window* bracketing each fault transition.
+
+Boundary invariants (the contract the equivalence suite in
+``tests/core/test_hybrid_equivalence.py`` checks):
+
+* **Announced transitions are exact.**  Every scheduled fault edge gets
+  a discrete window opening ``2 * E[service]`` before its onset --
+  enough that all fluid-admitted work has drained before the rate
+  changes -- and closing only once the system is *fluid-safe* again: no
+  component DEGRADED, nothing queued, and any job still in service is a
+  fresh single attempt that provably completes before both its policy's
+  earliest timer and its member's next fluid arrival (full quiescence is
+  unreachable under continuous arrivals, since ``gap < E[service]``
+  keeps some request in flight at every instant).  Residuals then drain
+  as ordinary discrete events inside the fluid era.  Request counts,
+  per-server work, and failure counts therefore match the discrete
+  engine exactly; latencies match to float-accumulation noise.
+* **Un-announced transitions never silently corrupt a segment.**  The
+  runner taps the telemetry bus; any ``state-change`` /
+  ``spec-violation`` / ``injector-event`` record observed outside a
+  window interrupts the fluid clock *at that instant* and opens an
+  unplanned window there.  A fault source that never restores keeps the
+  run discrete (correct, merely slow) rather than wrong.
+* **Feasibility is checked, not assumed.**  Fluid fast-forwarding is
+  only exact while per-member arrivals are slower than service
+  (``gap * n_groups > E``) and the policy's earliest timer
+  (:meth:`~repro.policy.MitigationPolicy.hybrid_action_delay`) cannot
+  fire on a fault-free request.  Violations raise
+  :class:`HybridInfeasible`, which :func:`repro.faults.campaign.run_scenario`
+  turns into a full discrete fallback.
+
+Policy state stays honest across the fluid stretches: the analytic
+completions are replayed into the policy via
+:meth:`~repro.policy.MitigationPolicy.hybrid_fast_forward` at the next
+window open, so adaptive estimators and stutter detectors see the same
+observations a discrete run would have fed them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from ..faults import campaign
+from ..faults.model import ComponentState
+from ..sim.fluid import FluidBlock, FluidServer
+from ..sim.trace import COMPLETION
+from .system import System
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..faults.campaign import CampaignWorkload, Scenario, ScenarioOutcome
+    from ..policy import MitigationPolicy
+
+__all__ = [
+    "HybridInfeasible",
+    "HybridRunner",
+    "run_scenario_hybrid",
+    "scale_scenario",
+    "scale_workload",
+]
+
+
+class HybridInfeasible(RuntimeError):
+    """The workload/policy pair is outside the hybrid engine's exact regime."""
+
+
+def scale_workload(workload: "CampaignWorkload", n_requests: int) -> "CampaignWorkload":
+    """The same workload, driven with ``n_requests`` arrivals."""
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    return replace(workload, n_requests=n_requests)
+
+
+def scale_scenario(workload: "CampaignWorkload", family: str, seed: int = 7,
+                   index: int = 0, base_requests: Optional[int] = None) -> "Scenario":
+    """Draw a scenario whose fault windows keep a *fixed* virtual extent.
+
+    The stock families size onsets and durations from the workload's
+    span, so scaling ``n_requests`` up would scale the faulty stretch
+    with it and a hybrid run would stay mostly discrete.  For scale
+    studies the interesting regime is the opposite: a fault window of
+    the stock workload's extent embedded in a much longer fault-free
+    run.  This draws the scenario against ``base_requests`` (default:
+    the stock request count for the workload's name, else the
+    workload's own) and reuses it under the scaled workload -- valid
+    because the component names do not depend on ``n_requests``.
+    """
+    if base_requests is None:
+        stock = campaign.WORKLOADS.get(workload.name)
+        base_requests = stock.n_requests if stock is not None else workload.n_requests
+    base = replace(workload, n_requests=base_requests)
+    return campaign.generate_scenario(base, family, seed, index)
+
+
+class HybridRunner:
+    """One (scenario, policy) run: fluid between fault windows, discrete inside.
+
+    Produces the same :class:`~repro.faults.campaign.ScenarioOutcome`
+    shape as the discrete engine, so the invariant oracle, the digest
+    machinery and the scorecard aggregation all apply unchanged.
+    """
+
+    def __init__(self, workload: "CampaignWorkload", scenario: "Scenario",
+                 policy, resolution: int = 8):
+        self.workload = workload
+        self.scenario = scenario
+        self.system = System()
+        self.groups = workload.build(self.system)
+        self.policy = campaign._fresh_policy(policy)
+        self.engine = campaign.CampaignEngine(
+            self.system, workload, self.groups, self.policy
+        )
+        self.names = self.engine.component_names()
+        self.index_of = {name: k for k, name in enumerate(self.names)}
+        self.members = [self.system.components.get(name) for name in self.names]
+        self.fluid = FluidServer([workload.rate] * len(self.names),
+                                 resolution=resolution)
+        self._zeros = np.zeros(len(self.names), dtype=np.int64)
+        self.member_jobs = np.zeros(len(self.names), dtype=np.int64)
+        #: Requests resolved analytically / failed instantly in fluid eras.
+        self.fluid_jobs = 0
+        self.fluid_failed = 0
+        #: Discrete windows actually opened (planned + unplanned).
+        self.windows_run = 0
+        self._in_window = False
+        self._signal = None
+        self._action_delay: Optional[float] = None
+        #: Unresolved requests, by index -- the close condition inspects
+        #: these without scanning the full request list.
+        self._open: dict = {}
+        #: Recorder samples already banked into ``_chunks``.
+        self._captured = 0
+        #: Chronological result chunks: ("fluid", [FluidBlock...]) or
+        #: ("window", [latency...]).
+        self._chunks: List[Tuple[str, object]] = []
+        #: Fluid completions awaiting replay into the policy
+        #: (name, count, work, latency), chronological.
+        self._pending: List[Tuple[str, int, float, float]] = []
+        self.engine.on_request_resolved = self._on_resolved
+        self.system.telemetry.subscribe_all(self._tap)
+        self.routes = self._compute_routes()
+
+    # -- bus tap / engine hooks --------------------------------------------------
+
+    def _on_resolved(self, request) -> None:
+        self._open.pop(request.index, None)
+
+    def _tap(self, record) -> None:
+        # Inside a window the discrete engine is authoritative; outside,
+        # any non-completion record is a rate-change signal that must
+        # interrupt the fluid clock at this exact instant.
+        if self._in_window or record.kind == COMPLETION:
+            return
+        self._signal = record
+
+    # -- feasibility ---------------------------------------------------------------
+
+    def _require_feasible(self) -> None:
+        w = self.workload
+        service = w.expected_service
+        cohort_gap = w.gap * len(self.groups)
+        if not cohort_gap > service * (1.0 + 1e-9):
+            raise HybridInfeasible(
+                f"per-member arrival spacing {cohort_gap:.6g}s must exceed "
+                f"the nominal service time {service:.6g}s (fault-free "
+                "servers must idle between arrivals for fluid exactness)"
+            )
+        delay = self.policy.hybrid_action_delay()
+        if delay is not None and delay <= service * (1.0 + 1e-9):
+            raise HybridInfeasible(
+                f"policy {self.policy.name!r} may act after {delay:.6g}s, "
+                f"within the nominal service time {service:.6g}s -- "
+                "fault-free requests could trigger timers"
+            )
+        self._action_delay = delay
+
+    # -- the run loop --------------------------------------------------------------
+
+    def run(self) -> "ScenarioOutcome":
+        self._require_feasible()
+        for tag, fault in enumerate(self.scenario.events):
+            self.engine._apply_event(tag, fault)
+        windows = self._plan_windows()
+        span = self.workload.n_requests * self.workload.gap
+        next_index = 0
+        wi = 0
+        while True:
+            # Windows swallowed by a previous window's drain overrun.
+            while wi < len(windows) and windows[wi][1] <= self.system.now:
+                wi += 1
+            target = windows[wi][0] if wi < len(windows) else span
+            if self.system.now < target:
+                next_index, interrupted = self._fluid_phase(next_index, target)
+                if interrupted:
+                    next_index = self._run_window(next_index, self.system.now)
+                    self._reseed()
+                    continue
+            if wi < len(windows):
+                start, min_end = windows[wi]
+                wi += 1
+                next_index = self._run_window(
+                    next_index, max(min_end, self.system.now)
+                )
+                self._reseed()
+                continue
+            break
+        # The discrete engine runs to the drain horizon; mirror it, so
+        # residual attempts from the last window complete and leftover
+        # policy timers pop as no-ops.
+        self.system.run(until=self.workload.horizon)
+        return self._finish()
+
+    def _plan_windows(self) -> List[Tuple[float, float]]:
+        """Merged [start, min_end] discrete windows around every fault edge."""
+        lead = 2.0 * self.workload.expected_service
+        raw = []
+        for event in self.scenario.events:
+            start = max(0.0, event.onset - lead)
+            min_end = (
+                event.onset + event.duration
+                if event.kind == "stutter"
+                else event.onset
+            )
+            raw.append((start, min_end))
+        raw.sort()
+        merged: List[List[float]] = []
+        for start, end in raw:
+            if merged and start <= merged[-1][1] + lead:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        return [(s, e) for s, e in merged]
+
+    # -- fluid phase ---------------------------------------------------------------
+
+    def _fluid_phase(self, next_index: int, target: float) -> Tuple[int, bool]:
+        """Fast-forward to ``target``; True if a signal interrupted early."""
+        while True:
+            interrupted = self._advance_to(target)
+            next_index = self._fluid_flow(next_index, self.system.now)
+            if interrupted:
+                return next_index, True
+            if self.system.now >= target:
+                return next_index, False
+
+    def _advance_to(self, target: float) -> bool:
+        """Step pending discrete events up to ``target``, watching for signals.
+
+        Events in a fluid era are policy-timer no-ops and scheduled fault
+        edges; the first one that emits a telemetry signal stops the
+        advance at its own timestamp so the caller can open a window
+        there.  Returns True when interrupted.
+        """
+        sim = self.system
+        while self._signal is None:
+            when = sim.peek()
+            if when > target:
+                break
+            sim.step()
+        if self._signal is not None:
+            self._signal = None
+            return True
+        sim.run(until=target)
+        return False
+
+    def _fluid_flow(self, next_index: int, segment_end: float) -> int:
+        """Resolve arrivals in [fluid.now, segment_end) analytically."""
+        fluid = self.fluid
+        if segment_end <= fluid.now:
+            return next_index
+        w = self.workload
+        n, gap = w.n_requests, w.gap
+        hi = next_index
+        if next_index < n:
+            hi = min(n, max(next_index, math.ceil(segment_end / gap - 1e-9)))
+        counts = np.zeros(len(self.names), dtype=np.int64)
+        failed = 0
+        n_groups = len(self.engine.groups)
+        for g in range(n_groups):
+            jobs = _count_congruent(next_index, hi, g, n_groups)
+            if not jobs:
+                continue
+            route = self.routes[g]
+            if route is None:
+                # Dead replica group: the discrete engine gives these up
+                # at arrival (no live member -> no attempt, no latency).
+                failed += jobs
+            else:
+                counts[self.index_of[route]] += jobs
+        blocks = fluid.advance(segment_end, counts, w.work)
+        self._check_blocks(blocks)
+        self.member_jobs += counts
+        self.fluid_jobs += int(counts.sum())
+        self.fluid_failed += failed
+        # Residual resolutions stepped since the last capture happened at
+        # or before this segment's start plus one service time -- bank
+        # them ahead of the segment's fluid blocks to keep the chunk
+        # list chronological.
+        self._capture_samples()
+        if blocks:
+            self._chunks.append(("fluid", blocks))
+            for block in blocks:
+                self._pending.append(
+                    (self.names[block.server], block.count, w.work, block.latency)
+                )
+        return hi
+
+    def _check_blocks(self, blocks: List[FluidBlock]) -> None:
+        backlog = float(np.max(self.fluid.queue_work())) if len(self.fluid) else 0.0
+        if backlog > 1e-9 * max(1.0, self.workload.work):
+            raise HybridInfeasible(
+                f"fluid backlog {backlog:.3g} accumulated outside a fault "
+                "window; arrivals outpace service"
+            )
+        delay = self._action_delay
+        for block in blocks:
+            if not math.isfinite(block.latency):
+                raise HybridInfeasible(
+                    "fluid segment routed work to a stopped/stalled server"
+                )
+            if delay is not None and block.latency >= delay:
+                raise HybridInfeasible(
+                    f"fluid response time {block.latency:.6g}s reaches the "
+                    f"policy action delay {delay:.6g}s"
+                )
+
+    # -- discrete windows ----------------------------------------------------------
+
+    def _run_window(self, next_index: int, min_end: float) -> int:
+        """Exact discrete simulation until fluid-safe at/after ``min_end``."""
+        sim = self.system
+        w = self.workload
+        if self._pending:
+            self.policy.hybrid_fast_forward(self._pending)
+            self._pending = []
+        self._in_window = True
+        self.windows_run += 1
+        n, gap, horizon = w.n_requests, w.gap, w.horizon
+        while sim.now < horizon:
+            if (
+                sim.now >= min_end
+                and sim.peek() > sim.now  # same-instant events come first
+                and self._can_close(next_index)
+            ):
+                break
+            arrival = next_index * gap if next_index < n else math.inf
+            pending = sim.peek()
+            if arrival == math.inf and pending == math.inf:
+                if sim.now < min_end:
+                    sim.run(until=min_end)
+                    continue
+                break  # nothing can ever happen again (hang -> oracle)
+            if arrival <= pending:
+                # run(until=t) is inclusive, so fault edges scheduled at
+                # the arrival instant fire first -- the discrete engine's
+                # heap ordering (faults enqueued before submissions).
+                # A window opened a float-residue past the arrival
+                # instant (the fluid cut keeps boundary arrivals for the
+                # window) leaves arrival <= now; submit immediately.
+                if arrival > sim.now:
+                    sim.run(until=arrival)
+                self.engine._submit_one(next_index)
+                request = self.engine.requests[-1]
+                if not request.resolved:
+                    self._open[request.index] = request
+                next_index += 1
+            else:
+                sim.step()
+        self._in_window = False
+        self._signal = None
+        self._capture_samples()
+        return next_index
+
+    def _can_close(self, next_index: int) -> bool:
+        """True when fluid fast-forwarding is exact from this instant on.
+
+        Full quiescence (every request resolved, every server idle) is
+        unreachable under continuous arrivals -- ``gap < E[service]``
+        keeps some request in flight at every instant, so waiting for it
+        would swallow the rest of the run into the window.  Fluid
+        exactness needs less:
+
+        * no component DEGRADED and nothing *queued* anywhere, though a
+          member may still be *serving* one residual job;
+        * every unresolved request is a fresh single attempt in service
+          that completes before the earliest timer its policy could
+          fire (``hybrid_action_delay`` past its submission), so its
+          resolution during the fluid era is a plain event replay;
+        * each residual drains before its member's next fluid arrival,
+          so fluid arrivals still land on idle servers.
+        """
+        for component in self.members:
+            if component.stopped:
+                continue
+            if component.state is not ComponentState.OK:
+                return False
+            if component.queue_length:
+                return False
+        w = self.workload
+        margin = 1e-9 * w.expected_service
+        deadlines = {}
+        latest = self.system.now
+        for k, component in enumerate(self.members):
+            if component.stopped or not component.busy:
+                continue
+            eta = component.completion_eta()
+            if eta is None:
+                return False  # frozen at rate 0 (stall not flagged DEGRADED)
+            deadlines[self.names[k]] = eta
+            if eta > latest:
+                latest = eta
+        delay = self._action_delay
+        for request in self._open.values():
+            if request.attempts != 1 or request.outstanding != 1:
+                return False
+            if delay is not None and latest + margin >= request.submitted_at + delay:
+                return False
+        if deadlines:
+            n, gap = w.n_requests, w.gap
+            n_groups = len(self.engine.groups)
+            for g, route in enumerate(self._compute_routes()):
+                eta = deadlines.get(route) if route is not None else None
+                if eta is None:
+                    continue
+                index = next_index + ((g - next_index) % n_groups)
+                if index < n and eta + margin >= index * gap:
+                    return False
+        return True
+
+    def _capture_samples(self) -> None:
+        """Bank recorder samples accrued since the last capture."""
+        samples = self.engine.recorder.samples
+        if len(samples) > self._captured:
+            self._chunks.append(("window", samples[self._captured:]))
+            self._captured = len(samples)
+
+    def _reseed(self) -> None:
+        """Re-anchor the fluid model on post-window discrete state."""
+        if self.system.now > self.fluid.now:
+            self.fluid.advance(self.system.now, self._zeros, self.workload.work)
+        self.fluid.set_rates(
+            [0.0 if c.stopped else c.effective_rate for c in self.members]
+        )
+        self.routes = self._compute_routes()
+
+    def _compute_routes(self) -> List[Optional[str]]:
+        """The member each group's arrivals go to while the state holds.
+
+        In a fluid era every pick sees zero queues and a fresh request,
+        so the policy's choice is the same for every arrival; probing
+        once per group captures it exactly.  Residual jobs still
+        draining at a window close would show as transient depth, so the
+        probe shadows ``queue_depth`` with the steady-state value (zero)
+        -- the close condition guarantees the residual is gone before
+        any fluid arrival actually reaches the member.
+        """
+        engine = self.engine
+        engine.queue_depth = lambda name: 0  # instance attr shadows the method
+        try:
+            routes: List[Optional[str]] = []
+            for group in engine.groups:
+                if all(self.system.components.get(m).stopped for m in group):
+                    routes.append(None)
+                    continue
+                probe = campaign.Request(
+                    index=-1, work=self.workload.work, group=group,
+                    submitted_at=self.system.now,
+                )
+                routes.append(self.policy.pick(probe))
+            return routes
+        finally:
+            del engine.queue_depth
+
+    # -- outcome -------------------------------------------------------------------
+
+    def _finish(self) -> "ScenarioOutcome":
+        self._capture_samples()  # resolutions from the tail drain
+        w = self.workload
+        engine = self.engine
+        slo = w.slo
+        latencies: List[float] = []
+        slo_violations = 0
+        for kind, data in self._chunks:
+            if kind == "fluid":
+                for block in data:
+                    latencies.extend([block.latency] * block.count)
+                    if block.latency > slo:
+                        slo_violations += block.count
+            else:
+                latencies.extend(data)
+                for sample in data:
+                    if sample > slo:
+                        slo_violations += 1
+        # Fluid work totals come from integer job counts times the unit
+        # work -- one multiplication, not a million-term float sum -- so
+        # the oracle's conservation splits hold to the same slack as a
+        # discrete run even at 10^6 requests.
+        fluid_work = self.fluid_jobs * w.work
+        server_work = {}
+        for k, name in enumerate(self.names):
+            server_work[name] = (
+                self.system.components.get(name).work_completed
+                + int(self.member_jobs[k]) * w.work
+            )
+        return campaign.ScenarioOutcome(
+            workload=w.name,
+            family=self.scenario.family,
+            scenario_index=self.scenario.index,
+            policy=self.policy.name,
+            n_requests=len(engine.requests) + self.fluid_jobs + self.fluid_failed,
+            slo=slo,
+            latencies=latencies,
+            slo_violations=slo_violations,
+            issued_work=engine.issued_work + fluid_work,
+            completed_work=engine.completed_work + fluid_work,
+            claimed_work=engine.claimed_work + fluid_work,
+            wasted_work=engine.wasted_work,
+            failed_work=engine.failed_work,
+            outstanding_attempts=sum(r.outstanding for r in engine.requests),
+            unresolved_requests=sum(1 for r in engine.requests if not r.resolved),
+            failed_requests=engine.failed_requests + self.fluid_failed,
+            server_work=server_work,
+        )
+
+
+def _count_congruent(lo: int, hi: int, residue: int, mod: int) -> int:
+    """How many k in [lo, hi) satisfy k % mod == residue."""
+    if hi <= lo:
+        return 0
+    first = lo + ((residue - lo) % mod)
+    if first >= hi:
+        return 0
+    return (hi - 1 - first) // mod + 1
+
+
+def run_scenario_hybrid(workload: "CampaignWorkload", scenario: "Scenario",
+                        policy, check: bool = True) -> "ScenarioOutcome":
+    """One hybrid (scenario, policy) run on a fresh System; oracle-audited.
+
+    Raises :class:`HybridInfeasible` when the workload/policy pair is
+    outside the exact fluid regime (callers fall back to discrete).
+    """
+    runner = HybridRunner(workload, scenario, policy)
+    outcome = runner.run()
+    if check:
+        outcome.violations.extend(campaign.InvariantOracle().check(outcome))
+    return outcome

@@ -46,6 +46,7 @@ from . import (
     e24_video,
     e25_observer,
     e26_campaign,
+    e27_hybrid_scale,
 )
 
 __all__ = ["ALL_EXPERIMENTS", "experiment_substrates", "run_all"]
@@ -77,6 +78,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "e24": e24_video.run,
     "e25": e25_observer.run,
     "e26": e26_campaign.run,
+    "e27": e27_hybrid_scale.run,
     "a1": a1_notification.run,
     "a2": a2_threshold.run,
     "a3": a3_detectors.run,

@@ -120,6 +120,12 @@ CLAIMS = {
     "beats every timeout policy under correlated stutters (lower latency, "
     "zero duplicate work) and matches them when the fault really is a "
     "fail-stop.",
+    "e27": "Section 1 (the motivating trend): systems 'comprised of ever "
+    "larger numbers of components' make somebody-is-always-stuttering the "
+    "common case -- evaluating mitigation at that scale needs the hybrid "
+    "fluid/discrete engine, which is certified exact against the discrete "
+    "engine at overlap sizes and then drives the same fault scenarios at a "
+    "million concurrent clients.",
     "a1": "Section 3.1 design choice: 'erratic performance may occur quite "
     "frequently, and thus distributing that information may be overly "
     "expensive' vs. exporting 'performance state' for persistent faults.",

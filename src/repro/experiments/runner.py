@@ -10,7 +10,11 @@ cheap levers that :func:`run_suite` pulls together:
 * **process parallelism** -- the cache misses fan out over a
   ``multiprocessing`` pool via
   :func:`~repro.analysis.parallel.parallel_sweep`, one experiment per
-  worker task.
+  worker task, shipped back as :meth:`Table.to_dict` payloads.  The
+  sweep itself decides whether a pool can win: on a one-core machine
+  (or when the first miss regenerates faster than pool overhead) the
+  misses run in-process instead, so asking for workers never makes the
+  report slower.
 
 Output is deterministic at any worker count and any cache state: results
 come back in suite order, and a cached table round-trips byte-identically
@@ -28,7 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..analysis.cache import ResultCache
+from ..analysis.cache import ClosureScan, ResultCache
 from ..analysis.parallel import parallel_sweep
 from ..analysis.report import Table
 from . import ALL_EXPERIMENTS
@@ -51,11 +55,18 @@ def experiment_module(experiment: str) -> str:
     return ALL_EXPERIMENTS[experiment].__module__
 
 
-def _timed_run(experiment: str) -> Tuple[Table, float]:
-    """Pool entry point: regenerate one experiment, timing it in-worker."""
+def _timed_run(experiment: str) -> Tuple[dict, float]:
+    """Pool entry point: regenerate one experiment, timing it in-worker.
+
+    Ships the table as its :meth:`Table.to_dict` payload -- plain dicts
+    and lists of scalars -- rather than a pickled ``Table``, so the
+    result crosses the process boundary through the same round-trip the
+    cache already guarantees byte-stable, independent of how ``Table``
+    internals pickle.
+    """
     start = time.perf_counter()
     table = ALL_EXPERIMENTS[experiment]()
-    return table, time.perf_counter() - start
+    return table.to_dict(), time.perf_counter() - start
 
 
 def run_suite(
@@ -81,11 +92,15 @@ def run_suite(
     runs: Dict[str, ExperimentRun] = {}
     misses: List[str] = []
     keys: Dict[str, str] = {}
+    # One scan for the whole key loop: the experiments' import closures
+    # overlap almost entirely, so sharing it keeps cache keying O(files)
+    # instead of O(experiments x files).
+    scan = ClosureScan()
     for key in ids:
         if cache is None:
             misses.append(key)
             continue
-        cache_key = cache.key_for(key, experiment_module(key))
+        cache_key = cache.key_for(key, experiment_module(key), scan=scan)
         keys[key] = cache_key
         table = cache.get(key, experiment_module(key), key=cache_key)
         if table is None:
@@ -95,7 +110,8 @@ def run_suite(
 
     if misses:
         computed = parallel_sweep(misses, _timed_run, workers=workers)
-        for key, (table, seconds) in computed:
+        for key, (payload, seconds) in computed:
+            table = Table.from_dict(payload)
             if cache is not None:
                 cache.put(key, experiment_module(key), table, key=keys[key])
             runs[key] = ExperimentRun(key, table, cached=False, seconds=seconds)

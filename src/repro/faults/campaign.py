@@ -378,6 +378,10 @@ class CampaignEngine:
         self.wasted_work = 0.0
         self.failed_work = 0.0
         self.failed_requests = 0
+        #: Optional observer invoked with each request as it resolves
+        #: (claimed or given up).  The hybrid runner uses this to decide
+        #: when a discrete window has gone quiescent.
+        self.on_request_resolved: Optional[Callable[[Request], None]] = None
         policy.bind(self)
 
     # -- surface the policies program against --------------------------------------
@@ -446,6 +450,8 @@ class CampaignEngine:
         request.resolved = True
         request.failed = True
         self.failed_requests += 1
+        if self.on_request_resolved is not None:
+            self.on_request_resolved(request)
 
     # -- engine internals ----------------------------------------------------------
 
@@ -469,6 +475,8 @@ class CampaignEngine:
         request.latency = latency
         self.claimed_work += request.work
         self.recorder.record(latency)
+        if self.on_request_resolved is not None:
+            self.on_request_resolved(request)
 
     def _submit_one(self, index: int) -> None:
         request = Request(
@@ -480,13 +488,32 @@ class CampaignEngine:
         self.requests.append(request)
         self.policy.start(request)
 
+    def _announce(self, name: str, source: str, action: str, kind: str) -> None:
+        """Emit an ``injector-event`` record for one scheduled fault edge.
+
+        These fire at the same instants as the fault calls themselves
+        (scheduled first, so a listener hears the announcement before
+        the rate actually changes).  A registered hybrid runner uses
+        them -- alongside ``state-change`` -- to keep fluid segments
+        from spanning an un-announced rate change.
+        """
+        bus = self.system.telemetry
+        if bus.wants(name):
+            bus.injector_event(name, source, action, kind=kind)
+
     def _apply_event(self, tag: int, event: FaultEvent) -> None:
         component = self.system.components.get(event.component)
+        source = f"campaign-{tag}"
         if event.kind == "fail-stop":
+            self.sim.call_at(event.onset, self._announce, event.component,
+                             source, "onset", event.kind)
             self.sim.call_at(event.onset, component.stop, "campaign")
             return
-        source = f"campaign-{tag}"
+        self.sim.call_at(event.onset, self._announce, event.component,
+                         source, "onset", event.kind)
         self.sim.call_at(event.onset, component.set_slowdown, source, event.factor)
+        self.sim.call_at(event.onset + event.duration, self._announce,
+                         event.component, source, "restore", event.kind)
         self.sim.call_at(
             event.onset + event.duration, component.clear_slowdown, source
         )
@@ -596,18 +623,35 @@ def _fresh_policy(policy: PolicyLike) -> MitigationPolicy:
 
 
 def run_scenario(workload: CampaignWorkload, scenario: Scenario,
-                 policy: PolicyLike, check: bool = True) -> ScenarioOutcome:
+                 policy: PolicyLike, check: bool = True,
+                 engine: str = "discrete") -> ScenarioOutcome:
     """One (scenario, policy) run on a fresh System; oracle-audited.
 
     ``policy`` is a roster name, a factory, or a ready instance.  The
     policy binds *before* any request is submitted, so telemetry
     subscriptions (stutter-aware detectors) are active from the first
     completion.
+
+    ``engine`` selects the execution path: ``"discrete"`` (the exact
+    oracle) simulates every request; ``"hybrid"`` resolves fault-free
+    stretches analytically via :class:`~repro.core.hybrid.HybridRunner`
+    and drops to discrete simulation inside stutter/fail-stop windows.
+    A workload outside the hybrid engine's exactness preconditions
+    falls back to a full discrete run.
     """
+    if engine not in ("discrete", "hybrid"):
+        raise ValueError(f"engine must be 'discrete' or 'hybrid', got {engine!r}")
+    if engine == "hybrid":
+        from ..core.hybrid import HybridInfeasible, run_scenario_hybrid
+
+        try:
+            return run_scenario_hybrid(workload, scenario, policy, check=check)
+        except HybridInfeasible:
+            pass  # outside the exact regime: the discrete oracle takes over
     system = System()
     groups = workload.build(system)
-    engine = CampaignEngine(system, workload, groups, _fresh_policy(policy))
-    outcome = engine.run(scenario)
+    campaign_engine = CampaignEngine(system, workload, groups, _fresh_policy(policy))
+    outcome = campaign_engine.run(scenario)
     if check:
         outcome.violations.extend(InvariantOracle().check(outcome))
     return outcome
@@ -731,6 +775,7 @@ def run_campaign(
     scenarios_per_family: int = 3,
     n_requests: Optional[int] = None,
     verify_determinism: bool = True,
+    engine: str = "discrete",
 ) -> CampaignResult:
     """The full sweep: workloads x families x scenarios x policies.
 
@@ -739,7 +784,9 @@ def run_campaign(
     executed twice and the outcome digests compared, so the scorecard's
     ``oracle`` column certifies byte-identical reruns, not just
     plausible numbers.  ``n_requests`` overrides both workloads' request
-    counts (used by fast test parameterisations).
+    counts (used by fast test parameterisations).  ``engine`` selects
+    discrete (exact) or hybrid (fluid between fault windows) execution
+    for every run, rerun included.
     """
     if policies is None:
         policies = list(POLICIES)
@@ -755,10 +802,11 @@ def run_campaign(
             by_policy: Dict[str, List[ScenarioOutcome]] = {p: [] for p in policies}
             for scenario in scenarios:
                 for policy_name in policies:
-                    outcome = run_scenario(workload, scenario, policy_name)
+                    outcome = run_scenario(workload, scenario, policy_name,
+                                           engine=engine)
                     if verify_determinism:
                         rerun = run_scenario(workload, scenario, policy_name,
-                                             check=False)
+                                             check=False, engine=engine)
                         outcome.violations.extend(
                             oracle.check_determinism(outcome, rerun)
                         )

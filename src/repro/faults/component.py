@@ -119,6 +119,10 @@ class DegradableServer(DegradableMixin):
         """True while a job is in service."""
         return self._server.busy
 
+    def completion_eta(self) -> Optional[float]:
+        """When the in-service job completes (None if idle or frozen)."""
+        return self._server.completion_eta()
+
     @property
     def jobs_completed(self) -> int:
         """Total jobs served."""

@@ -57,6 +57,12 @@ class InjectorHandle:
         self.cancelled = True
         for child in self.children:
             child.cancel(restore)
+        if not self.children:
+            # Leaf handles own a slowdown channel; a composite's own
+            # channel never touched a rate, so announcing it would
+            # promise a change that cannot happen.
+            for target in self.targets:
+                self.injector._announce(target, "cancel", restore=restore)
         if restore:
             for target in self.targets:
                 target.clear_slowdown(self.injector.source)
@@ -89,6 +95,7 @@ class FaultInjector:
         handle = InjectorHandle(self, [], [target])
         process = sim.process(self._drive(sim, target, rng, tracer, handle))
         handle.processes.append(process)
+        self._announce(target, "attach")
         return handle
 
     def attach_all(
@@ -113,6 +120,21 @@ class FaultInjector:
     def _emit(self, tracer: Optional[Tracer], event: str, target: DegradableMixin, detail=None):
         if tracer is not None:
             tracer.emit(f"fault.{self.kind}.{event}", target.name, detail)
+
+    def _announce(self, target: DegradableMixin, action: str, **detail) -> None:
+        """Publish an ``injector-event`` record on the target's bus.
+
+        Attach and cancel are the two injector actions that change (or
+        promise to change) a component's delivered rate outside any
+        scheduled scenario, so a registered hybrid runner must hear
+        about them.  No-op when the target has no bound telemetry or
+        nobody listens.
+        """
+        bus = getattr(target, "_telemetry", None)
+        if bus is not None and bus.wants(target.name):
+            bus.injector_event(
+                target.name, self.source, action, kind=self.kind, **detail
+            )
 
 
 class CompositeInjector(FaultInjector):

@@ -28,7 +28,7 @@ Engine surface available to policies (see
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..faults.campaign import CampaignEngine, Request
@@ -75,6 +75,33 @@ class MitigationPolicy:
             # and the caller falls through to retry_elsewhere/give_up.
             return request.group[0]
         return candidate
+
+    # -- hybrid-engine contract ----------------------------------------------------
+
+    def hybrid_action_delay(self) -> Optional[float]:
+        """Shortest delay after which this policy acts on an in-flight request.
+
+        The hybrid engine may replace a fault-free stretch with a fluid
+        fast-forward only if no request in that stretch lives long enough
+        to trigger a policy timer (timeout, hedge, ...).  Policies with
+        timers return their minimum possible delay; timer-free policies
+        return ``None`` (no constraint).  Must only be called after
+        :meth:`bind`.
+        """
+        return None
+
+    def hybrid_fast_forward(
+        self, completions: Iterable[Tuple[str, int, float, float]]
+    ) -> None:
+        """Replay fluid-era completions into policy state.
+
+        ``completions`` yields ``(component, count, work, latency)``
+        tuples in chronological order, summarising attempts the fluid
+        engine resolved analytically.  Policies with observation-driven
+        state (latency estimators, rate detectors) feed them here so
+        their view matches what a discrete run would have produced; the
+        stateless base policy ignores them.
+        """
 
     # -- engine notifications ------------------------------------------------------
 

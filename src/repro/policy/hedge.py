@@ -52,3 +52,6 @@ class HedgedRequestPolicy(MitigationPolicy):
         candidate = self.engine.pick_candidate(request)
         if candidate is not None:
             self.engine.attempt(request, candidate)
+
+    def hybrid_action_delay(self):
+        return self.hedge_delay

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict
 
-from ..sim.trace import SPEC_VIOLATION
+from ..sim.trace import COMPLETION, SPEC_VIOLATION, TraceRecord
 from .base import MitigationPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -66,6 +66,19 @@ class StutterAwarePolicy(MitigationPolicy):
                 if estimate is not None and estimate > 0:
                     return estimate
         return self.engine.nominal_rate
+
+    def hybrid_fast_forward(self, completions) -> None:
+        # Feed each replica's detector binding the completions it would
+        # have observed.  The detector's rate window saturates after a
+        # handful of identical samples, so the replay is capped per tuple.
+        for component, count, work, latency in completions:
+            binding = self.bindings.get(component)
+            if binding is None:
+                continue
+            record = TraceRecord(self.engine.now, COMPLETION, component,
+                                 (work, latency))
+            for _ in range(min(count, 64)):
+                binding._on_record(record)
 
     def pick(self, request: "Request") -> str:
         candidates = self.engine.live_candidates(request)

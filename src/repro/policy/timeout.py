@@ -57,6 +57,9 @@ class FixedTimeoutPolicy(MitigationPolicy):
         """The timeout for the request's next wait (hook for subclasses)."""
         return self.base_timeout
 
+    def hybrid_action_delay(self):
+        return self.base_timeout
+
     def _arm(self, request: "Request") -> None:
         self.engine.call_later(self.current_timeout(request), self._expire, request)
 
@@ -113,6 +116,20 @@ class AdaptiveTimeoutPolicy(FixedTimeoutPolicy):
 
     def on_attempt_completed(self, request, component, elapsed, claimed) -> None:
         self.estimator.observe(elapsed)
+
+    def hybrid_action_delay(self):
+        # timeout() = max(mean + k*dev, floor): the floor is the tightest
+        # threshold any amount of observation can reach.
+        return self.estimator.floor
+
+    def hybrid_fast_forward(self, completions) -> None:
+        # Feed the estimator the latencies a discrete run would have shown
+        # it.  The EWMA converges to a floating-point fixed point on a
+        # constant input, so the replay is capped: beyond the cap extra
+        # identical observations cannot change the state.
+        for _component, count, _work, latency in completions:
+            for _ in range(min(count, 4096)):
+                self.estimator.observe(latency)
 
 
 class RetryBackoffPolicy(FixedTimeoutPolicy):

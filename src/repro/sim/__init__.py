@@ -26,6 +26,7 @@ from .metrics import (
     ThroughputMeter,
     UtilizationMeter,
 )
+from .fluid import FluidBlock, FluidServer
 from .random import RandomStreams, derive_seed
 from .resources import JobStats, RateServer, Resource, Store
 from .trace import Counter, TimeSeries, TraceRecord, Tracer
@@ -44,6 +45,8 @@ __all__ = [
     "Store",
     "RateServer",
     "JobStats",
+    "FluidServer",
+    "FluidBlock",
     "RandomStreams",
     "derive_seed",
     "Tracer",

@@ -246,6 +246,22 @@ class RateServer:
         if self._current is not None:
             self._schedule_completion()
 
+    def completion_eta(self) -> Optional[float]:
+        """Absolute time the in-service job completes at the current rate.
+
+        ``None`` while idle or frozen at rate 0 (no completion is
+        scheduled).  The value can lag the actual completion by float
+        residue (see :meth:`_complete`), so callers comparing it against
+        deadlines should leave an epsilon of slack.
+        """
+        if self._current is None or self._rate <= 0:
+            return None
+        remaining = self._current.remaining
+        remaining -= (self.sim.now - self._last_update) * self._rate
+        if remaining < 0:
+            remaining = 0.0
+        return self.sim.now + remaining / self._rate
+
     def drain(self) -> Event:
         """Event that fires when the server next becomes idle.
 

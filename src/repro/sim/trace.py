@@ -18,6 +18,7 @@ __all__ = [
     "COMPLETION",
     "SPEC_VIOLATION",
     "STATE_CHANGE",
+    "INJECTOR_EVENT",
     "TraceRecord",
     "Tracer",
     "TimeSeries",
@@ -30,6 +31,12 @@ __all__ = [
 COMPLETION = "completion"
 SPEC_VIOLATION = "spec-violation"
 STATE_CHANGE = "state-change"
+#: Fault application/restoration announcements: emitted when an injector
+#: attaches or is cancelled and when a campaign schedules an onset or a
+#: restore on a component.  Hybrid runners subscribe to these (plus
+#: ``STATE_CHANGE``) so a fluid segment never silently spans a rate
+#: change the runner was not told about.
+INJECTOR_EVENT = "injector-event"
 
 
 @dataclass(frozen=True, slots=True)

@@ -142,6 +142,25 @@ class TestModuleClosure:
         (fake_package / "unrelated.py").write_text("OTHER = 3\n")
         assert source_digest(closure) == before
 
+    def test_shared_scan_matches_fresh_walks(self, fake_package):
+        from repro.analysis.cache import ClosureScan
+
+        scan = ClosureScan()
+        fresh = module_closure("fscpkg.exp", root="fscpkg")
+        shared = module_closure("fscpkg.exp", root="fscpkg", scan=scan)
+        again = module_closure("fscpkg.exp", root="fscpkg", scan=scan)
+        assert fresh == shared == again
+        assert source_digest(fresh) == source_digest(shared, scan=scan)
+
+    def test_shared_scan_keys_match_unshared(self, tmp_path, fake_package):
+        from repro.analysis.cache import ClosureScan
+
+        cache = ResultCache(tmp_path / "c", package="fscpkg")
+        scan = ClosureScan()
+        assert cache.key_for("x1", "fscpkg.exp") == cache.key_for(
+            "x1", "fscpkg.exp", scan=scan
+        )
+
     def test_experiment_granularity(self):
         """The keying promise: raid.py invalidates e01/e02, not e20."""
         e01 = module_closure("repro.experiments.e01_raid10")

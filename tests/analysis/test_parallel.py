@@ -95,6 +95,82 @@ class TestPicklabilityGuard:
         assert parallel_sweep([1, 2], lambda v: v * 2, workers=1) == [(1, 2), (2, 4)]
 
 
+class TestAdaptiveFallback:
+    """workers>1 is a request; the sweep declines it when a pool can't win."""
+
+    def test_single_core_machines_never_pool(self, monkeypatch):
+        from repro.analysis import parallel
+
+        monkeypatch.setattr(parallel, "_effective_cores", lambda: 1)
+
+        def boom(points, run, n_workers):
+            raise AssertionError("pool must not start on one core")
+
+        monkeypatch.setattr(parallel, "_run_pool", boom)
+        values = [1, 2, 3]
+        assert parallel.parallel_sweep(values, _square, workers=4) == sweep(
+            values, _square
+        )
+
+    def test_single_core_fallback_still_rejects_unpicklable(self, monkeypatch):
+        # The fail-fast contract is machine-independent: a sweep that
+        # could not parallelize elsewhere errors here too.
+        from repro.analysis import parallel
+
+        monkeypatch.setattr(parallel, "_effective_cores", lambda: 1)
+        with pytest.raises(TypeError, match="not picklable"):
+            parallel.parallel_sweep([1, 2], lambda v: v, workers=2)
+
+    def test_cheap_tasks_stay_serial_after_probe(self, monkeypatch):
+        from repro.analysis import parallel
+
+        monkeypatch.setattr(parallel, "_effective_cores", lambda: 4)
+
+        def boom(points, run, n_workers):
+            raise AssertionError("cheap tasks must not fan out")
+
+        monkeypatch.setattr(parallel, "_run_pool", boom)
+        values = [5, 6, 7]
+        result = parallel.parallel_sweep(
+            values, _square, workers=4, min_task_seconds=60.0
+        )
+        assert result == sweep(values, _square)
+
+    def test_expensive_probe_hands_rest_to_the_pool(self, monkeypatch):
+        from repro.analysis import parallel
+
+        monkeypatch.setattr(parallel, "_effective_cores", lambda: 4)
+        calls = {}
+
+        def fake_pool(points, run, n_workers):
+            calls["points"] = list(points)
+            calls["workers"] = n_workers
+            return [(p, run(p)) for p in points]
+
+        monkeypatch.setattr(parallel, "_run_pool", fake_pool)
+        values = [2, 3, 4]
+        result = parallel.parallel_sweep(
+            values, _square, workers=8, min_task_seconds=0.0
+        )
+        assert result == sweep(values, _square)
+        # The probe ran the first point in-process; the rest fanned out,
+        # with the pool capped at the remaining work.
+        assert calls["points"] == [3, 4]
+        assert calls["workers"] == 2
+
+    def test_real_pool_matches_serial_when_forced(self, monkeypatch):
+        # min_task_seconds=0 defeats the probe, so this drives the real
+        # multiprocessing pool regardless of how fast the points are.
+        from repro.analysis import parallel
+
+        monkeypatch.setattr(parallel, "_effective_cores", lambda: 2)
+        values = [10, 20, 30]
+        forced = parallel.parallel_sweep(
+            values, _simulate_point, workers=2, min_task_seconds=0.0
+        )
+        assert forced == parallel.parallel_sweep(values, _simulate_point)
+
+
 class TestStartMethodPin:
     def test_pinned_method_is_explicit_and_available(self):
         import multiprocessing

@@ -17,7 +17,8 @@ from repro.faults import (
     StaticSkew,
 )
 from repro.sim import Simulator, Tracer
-from repro.sim.trace import COMPLETION, SPEC_VIOLATION, STATE_CHANGE
+from repro.sim.trace import (COMPLETION, INJECTOR_EVENT, SPEC_VIOLATION,
+                             STATE_CHANGE)
 
 SPEC = PerformanceSpec(nominal_rate=10.0, tolerance=0.2)
 
@@ -56,7 +57,8 @@ class TestTelemetryBus:
         assert sim.trace.count(kind=COMPLETION) == 1
 
     def test_kinds_are_the_public_tuple(self):
-        assert set(TELEMETRY_KINDS) == {COMPLETION, SPEC_VIOLATION, STATE_CHANGE}
+        assert set(TELEMETRY_KINDS) == {COMPLETION, SPEC_VIOLATION, STATE_CHANGE,
+                                        INJECTOR_EVENT}
 
 
 class TestComponentRegistry:

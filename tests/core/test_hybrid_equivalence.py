@@ -1,0 +1,144 @@
+"""Equivalence suite: the hybrid engine must match the discrete engine.
+
+The hybrid runner's whole value proposition is that fluid fast-forwarding
+between fault transitions is *exact*, not approximate: at any size both
+engines can run, every count must match exactly and every latency
+statistic must match to float noise.  These tests drive that claim across
+workloads, scenario families and policies at stock sizes, plus the two
+properties the scale path leans on (digest-determinism of reruns, and
+graceful handling of rate changes nobody announced).
+
+Marked ``hybrid``; the full matrix is additionally ``slow`` so CI's fast
+tier runs the one-family subset.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.hybrid import (
+    HybridInfeasible,
+    HybridRunner,
+    run_scenario_hybrid,
+    scale_scenario,
+    scale_workload,
+)
+from repro.faults import campaign
+
+pytestmark = pytest.mark.hybrid
+
+POLICIES = ("fixed-timeout", "adaptive-timeout", "retry-backoff",
+            "hedged", "stutter-aware")
+FAMILIES = ("magnitude", "onset", "duration", "correlated", "failstop")
+_REL = 1e-9
+
+
+def _p99(latencies):
+    ordered = sorted(latencies)
+    return ordered[int(0.99 * (len(ordered) - 1))]
+
+
+def _close(a, b):
+    return abs(a - b) <= _REL * max(abs(a), abs(b), 1e-30)
+
+
+def _assert_equivalent(discrete, hybrid):
+    assert (discrete.n_requests, discrete.slo_violations,
+            discrete.failed_requests) == (
+        hybrid.n_requests, hybrid.slo_violations, hybrid.failed_requests
+    )
+    for field in ("issued_work", "completed_work", "claimed_work",
+                  "wasted_work", "failed_work"):
+        assert abs(getattr(discrete, field) - getattr(hybrid, field)) <= _REL, field
+    assert len(discrete.latencies) == len(hybrid.latencies)
+    if discrete.latencies:
+        assert _close(statistics.fmean(discrete.latencies),
+                      statistics.fmean(hybrid.latencies))
+        assert _close(_p99(discrete.latencies), _p99(hybrid.latencies))
+    assert not discrete.violations and not hybrid.violations
+
+
+def _case(workload_name, family, policy, index=0):
+    workload = campaign.WORKLOADS[workload_name]
+    scenario = campaign.generate_scenario(workload, family, 7, index)
+    discrete = campaign.run_scenario(workload, scenario, policy)
+    hybrid = run_scenario_hybrid(workload, scenario, policy)
+    return discrete, hybrid
+
+
+class TestEquivalenceFast:
+    """One family, every policy, both workloads -- the CI subset."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("workload", ("raid10", "dht"))
+    def test_magnitude_family(self, workload, policy):
+        discrete, hybrid = _case(workload, "magnitude", policy)
+        _assert_equivalent(discrete, hybrid)
+
+
+@pytest.mark.slow
+class TestEquivalenceFull:
+    """Every family on two sentinel policies, both workloads."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("policy", ("fixed-timeout", "stutter-aware"))
+    @pytest.mark.parametrize("workload", ("raid10", "dht"))
+    def test_family_policy(self, workload, family, policy):
+        discrete, hybrid = _case(workload, family, policy)
+        _assert_equivalent(discrete, hybrid)
+
+
+class TestScalePathProperties:
+    def test_same_seed_rerun_is_digest_identical(self):
+        workload = scale_workload(campaign.WORKLOADS["dht"], 20_000)
+        scenario = scale_scenario(workload, "magnitude", 7, 0)
+        first = run_scenario_hybrid(workload, scenario, "fixed-timeout")
+        second = run_scenario_hybrid(workload, scenario, "fixed-timeout")
+        assert first.digest() == second.digest()
+        assert not first.violations
+
+    def test_infeasible_workload_raises_by_name(self):
+        from dataclasses import replace
+
+        workload = campaign.WORKLOADS["dht"]
+        # Arrivals tighter than the nominal service time break the
+        # fluid-exactness precondition; the engine must refuse loudly
+        # rather than silently approximate.
+        crowded = replace(workload, gap=workload.expected_service / 10.0)
+        scenario = campaign.generate_scenario(crowded, "magnitude", 7, 0)
+        with pytest.raises(HybridInfeasible):
+            run_scenario_hybrid(crowded, scenario, "fixed-timeout")
+
+
+class TestUnannouncedRateChange:
+    def test_rogue_slowdown_pulse_forces_a_window(self):
+        """A set_slowdown nobody announced must interrupt the fluid clock.
+
+        The telemetry tap is the hybrid runner's safety net: any
+        non-completion record outside a window opens an unplanned
+        discrete window at that exact instant, so a rate change applied
+        behind the scenario's back is simulated, not fluid-averaged.
+        """
+        workload = campaign.WORKLOADS["dht"]
+        quiet = campaign.Scenario(family="none", index=0, seed=0, events=())
+        runner = HybridRunner(workload, quiet, "fixed-timeout")
+        victim = runner.members[0]
+        span = workload.n_requests * workload.gap
+        runner.system.call_at(0.40 * span, victim.set_slowdown, "rogue", 0.25)
+        runner.system.call_at(0.45 * span, victim.clear_slowdown, "rogue")
+        outcome = runner.run()
+        outcome.violations.extend(campaign.InvariantOracle().check(outcome))
+        assert not outcome.violations
+        assert outcome.n_requests == workload.n_requests
+        # The empty scenario planned zero windows; the pulse opened one.
+        assert runner.windows_run >= 1
+
+    def test_quiet_scenario_stays_fully_fluid(self):
+        workload = campaign.WORKLOADS["dht"]
+        quiet = campaign.Scenario(family="none", index=0, seed=0, events=())
+        runner = HybridRunner(workload, quiet, "fixed-timeout")
+        outcome = runner.run()
+        outcome.violations.extend(campaign.InvariantOracle().check(outcome))
+        assert not outcome.violations
+        assert runner.windows_run == 0
+        assert runner.fluid_jobs == workload.n_requests

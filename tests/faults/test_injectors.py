@@ -322,3 +322,72 @@ class TestAttachAll:
         ]
         # Episodes drawn from one shared stream: schedules must differ.
         assert len({tuple(s) for s in starts}) > 1
+
+
+class TestInjectorAnnouncements:
+    """Attach/cancel publish ``injector-event`` records on the bus.
+
+    The hybrid engine's fluid segments must never span an un-announced
+    rate change; these records are how an injector warns listeners that
+    it is about to start (attach) or stop (cancel) acting on a target.
+    """
+
+    def make_watched_target(self, rate=10.0, name="disk0"):
+        from repro.core.system import System
+
+        system = System()
+        target = DegradableServer(system, name, rate)
+        records = []
+        system.telemetry.subscribe_all(records.append)
+        return system, target, records
+
+    def events(self, records):
+        from repro.sim.trace import INJECTOR_EVENT
+
+        return [r for r in records if r.kind == INJECTOR_EVENT]
+
+    def test_attach_is_announced(self):
+        system, target, records = self.make_watched_target()
+        injector = StaticSkew(0.5)
+        injector.attach(system, target)
+        events = self.events(records)
+        assert len(events) == 1
+        assert events[0].subject == "disk0"
+        assert events[0].detail["action"] == "attach"
+        assert events[0].detail["source"] == injector.source
+
+    def test_cancel_announces_before_restoring(self):
+        system, target, records = self.make_watched_target()
+        handle = StaticSkew(0.5).attach(system, target)
+        system.run(until=1.0)
+        assert target.effective_rate == 5.0
+        records.clear()
+        handle.cancel(restore=True)
+        kinds = [r.kind for r in records]
+        events = self.events(records)
+        assert len(events) == 1
+        assert events[0].detail["action"] == "cancel"
+        assert events[0].detail["restore"] is True
+        # The announcement precedes the clear_slowdown state-change, so
+        # a fluid listener interrupts before the rate actually moves.
+        assert kinds.index(events[0].kind) < len(kinds) - 1
+        assert target.effective_rate == 10.0
+
+    def test_composite_cancel_announces_each_child(self):
+        system, target, records = self.make_watched_target()
+        handle = CompositeInjector([StaticSkew(0.5), StaticSkew(0.8)]).attach(
+            system, target
+        )
+        system.run(until=1.0)
+        records.clear()
+        handle.cancel(restore=False)
+        actions = [e.detail["action"] for e in self.events(records)]
+        assert actions == ["cancel", "cancel"]
+
+    def test_silent_without_listeners(self):
+        # No bus subscriber: the announcement short-circuits on wants().
+        from repro.core.system import System
+
+        system = System()
+        target = DegradableServer(system, "disk0", 10.0)
+        StaticSkew(0.5).attach(system, target)  # must not raise

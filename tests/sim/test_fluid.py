@@ -1,0 +1,163 @@
+"""Unit and property tests for the fluid (analytic) server bank.
+
+The hybrid engine's trust in :class:`~repro.sim.fluid.FluidServer`
+rests on two contracts (see the module docstring): work conservation at
+every segment boundary, and exact ``work / rate`` response times in the
+underloaded regime.  Both are pinned here, the first also as a
+hypothesis property over random segment schedules.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.fluid import FluidBlock, FluidServer
+
+
+class TestConstruction:
+    def test_rejects_empty_and_negative_rates(self):
+        with pytest.raises(ValueError):
+            FluidServer([])
+        with pytest.raises(ValueError):
+            FluidServer([1.0, -2.0])
+        with pytest.raises(ValueError):
+            FluidServer([1.0], resolution=0)
+
+    def test_len_and_start(self):
+        fluid = FluidServer([1.0, 2.0, 3.0], start=5.0)
+        assert len(fluid) == 3
+        assert fluid.now == 5.0
+
+
+class TestAdvanceValidation:
+    def test_rejects_time_reversal(self):
+        fluid = FluidServer([1.0])
+        fluid.advance(1.0, [0], 1.0)
+        with pytest.raises(ValueError):
+            fluid.advance(0.5, [0], 1.0)
+
+    def test_rejects_arrivals_in_zero_time(self):
+        fluid = FluidServer([1.0])
+        with pytest.raises(ValueError):
+            fluid.advance(0.0, [3], 1.0)
+        assert fluid.advance(0.0, [0], 1.0) == []
+
+    def test_rejects_shape_mismatch_and_negative_counts(self):
+        fluid = FluidServer([1.0, 1.0])
+        with pytest.raises(ValueError):
+            fluid.advance(1.0, [1], 1.0)
+        with pytest.raises(ValueError):
+            fluid.advance(1.0, [1, -1], 1.0)
+        with pytest.raises(ValueError):
+            fluid.advance(1.0, [1, 0], 0.0)
+
+
+class TestUnderloadedExactness:
+    def test_latency_is_exactly_work_over_rate(self):
+        # 100 jobs of 0.5 work on a rate-5.5 server over 10s: inflow
+        # 5.0 < 5.5, so zero queueing and every job sees 0.5 / 5.5.
+        fluid = FluidServer([5.5])
+        blocks = fluid.advance(10.0, [100], 0.5)
+        assert len(blocks) == 1
+        assert blocks[0] == FluidBlock(server=0, latency=0.5 / 5.5, count=100)
+        assert fluid.queue_work()[0] == 0.0
+        assert fluid.conservation_error() <= 1e-9
+
+    def test_counts_sum_exactly_to_arrivals(self):
+        fluid = FluidServer([2.0, 3.0, 0.0])
+        blocks = fluid.advance(100.0, [17, 29, 5], 1.0)
+        per_server = {0: 0, 1: 0, 2: 0}
+        for block in blocks:
+            per_server[block.server] += block.count
+        assert per_server == {0: 17, 1: 29, 2: 5}
+
+    def test_rate_zero_server_reports_inf_latency(self):
+        fluid = FluidServer([0.0])
+        blocks = fluid.advance(10.0, [4], 1.0)
+        assert len(blocks) == 1
+        assert math.isinf(blocks[0].latency)
+        assert blocks[0].count == 4
+        # The work is queued, not lost.
+        assert fluid.queue_work()[0] == pytest.approx(4.0)
+
+
+class TestOverloadedRamp:
+    def test_backlog_builds_then_drains(self):
+        fluid = FluidServer([1.0])
+        # Inflow 2.0 > rate 1.0 for 10s: backlog climbs to 10.
+        fluid.advance(10.0, [20], 1.0)
+        assert fluid.queue_work()[0] == pytest.approx(10.0)
+        # Quiet 20s at rate 1.0 drains it all.
+        fluid.advance(30.0, [0], 1.0)
+        assert fluid.queue_work()[0] == pytest.approx(0.0)
+        assert fluid.conservation_error() <= 1e-9
+
+    def test_ramp_is_quantized_into_resolution_blocks(self):
+        fluid = FluidServer([1.0], resolution=4)
+        blocks = fluid.advance(10.0, [20], 1.0)
+        assert len(blocks) == 4
+        assert sum(b.count for b in blocks) == 20
+        latencies = [b.latency for b in blocks]
+        # Later arrivals queue behind earlier ones: nondecreasing ramp.
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > latencies[0]
+
+    def test_flat_ramp_collapses_to_one_block(self):
+        # Saturated from a pre-existing backlog with inflow == rate:
+        # the response time is constant, so one block suffices even at
+        # high resolution.
+        fluid = FluidServer([1.0], resolution=8)
+        fluid.advance(10.0, [20], 1.0)  # build backlog 10
+        blocks = fluid.advance(20.0, [10], 1.0)  # inflow == rate
+        assert len(blocks) == 1
+        assert blocks[0].count == 10
+
+
+counts = st.lists(st.integers(min_value=0, max_value=50), min_size=3, max_size=3)
+rates = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=3, max_size=3
+)
+segments = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=20.0, allow_nan=False),  # dt
+        counts,
+        rates,
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestConservationProperty:
+    @given(segments)
+    @settings(max_examples=60, deadline=None)
+    def test_arrived_splits_into_completed_plus_queued(self, schedule):
+        """After any segment schedule, arrivals = completions + backlog.
+
+        This is the invariant that lets the hybrid engine account fluid
+        work with the same oracle slack as a discrete run: nothing is
+        created or lost by the closed-form step, per server, at every
+        boundary.
+        """
+        fluid = FluidServer([1.0, 1.0, 1.0])
+        t = 0.0
+        total_jobs = np.zeros(3, dtype=np.int64)
+        for dt, arrivals, new_rates in schedule:
+            fluid.set_rates(new_rates)
+            t += dt
+            blocks = fluid.advance(t, arrivals, 0.5)
+            total_jobs += np.asarray(arrivals, dtype=np.int64)
+            # Block counts per segment sum exactly to the arrivals.
+            assert sum(b.count for b in blocks) == sum(arrivals)
+            # Conservation at every boundary, not just the last.
+            assert fluid.conservation_error() <= 1e-6
+        assert (fluid.arrived_jobs == total_jobs).all()
+        np.testing.assert_allclose(fluid.arrived_work, total_jobs * 0.5)
+        backlog = fluid.queue_work()
+        assert (backlog >= 0.0).all()
+        np.testing.assert_allclose(
+            fluid.completed_work + backlog, fluid.arrived_work, atol=1e-6
+        )

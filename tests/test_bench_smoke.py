@@ -74,6 +74,16 @@ def test_perf_report_models_suite_smoke_mode():
     assert "identical=False" not in result.stdout
 
 
+def test_perf_report_hybrid_suite_smoke_mode():
+    """The hybrid suite runs one small discrete-vs-hybrid head-to-head and
+    verifies the outcomes agree with a clean oracle."""
+    result = _run(
+        [sys.executable, "scripts/perf_report.py", "--suite", "hybrid", "--smoke"]
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "hybrid suite: ok" in result.stdout
+
+
 def test_perf_report_campaign_suite_smoke_mode():
     """The campaign suite runs a reduced sweep once and verifies a clean
     oracle plus a byte-identical in-process rerun."""

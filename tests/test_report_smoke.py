@@ -45,6 +45,18 @@ class TestRunnerCaching:
         runs = run_suite(["a5", "e05"])
         assert [r.experiment for r in runs] == ["a5", "e05"]
 
+    def test_pool_entry_point_ships_plain_payloads(self):
+        # The worker side of the pool returns a to_dict payload, not a
+        # pickled Table; the parent must rebuild it losslessly.
+        from repro.analysis.report import Table
+        from repro.experiments.runner import _timed_run
+
+        payload, seconds = _timed_run("e05")
+        assert isinstance(payload, dict)
+        assert seconds > 0.0
+        rebuilt = Table.from_dict(payload)
+        assert rebuilt.render() == ALL_EXPERIMENTS["e05"]().render()
+
     def test_unknown_id_raises_by_name(self):
         try:
             run_suite(["e99"])
