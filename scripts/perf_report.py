@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Time the benchmark suites and emit JSON reports.
 
-Five suites, selected with ``--suite``:
+Six suites, selected with ``--suite`` (or ``all`` to run every one):
 
 * ``engine`` (default) -- the kernel microbenchmarks, timed as
   baseline-vs-after (``BENCH_engine.json``);
@@ -18,7 +18,12 @@ Five suites, selected with ``--suite``:
 * ``hybrid`` -- the fluid/discrete engine: discrete-vs-hybrid wall clock
   on overlap sizes both engines can run (outcomes must match; the
   recorded speedup must clear 20x) plus hybrid-only timings at a million
-  concurrent clients (``BENCH_hybrid.json``).
+  concurrent clients (``BENCH_hybrid.json``);
+* ``batch`` -- the seed-batch runner: scalar per-seed e06 vs the same
+  seeds as structure-of-arrays lanes of one
+  ``repro.sim.batch.SeedBatchRunner``, cold, at the report size and
+  scaled up (tables must be byte-identical; the report-size speedup must
+  clear 5x) (``BENCH_batch.json``).
 
 Usage (from the repo root)::
 
@@ -44,6 +49,12 @@ Usage (from the repo root)::
 
     # Regenerate the hybrid-engine numbers (discrete vs fluid/discrete):
     PYTHONPATH=src python scripts/perf_report.py --suite hybrid
+
+    # Regenerate the seed-batch numbers (scalar vs batched e06):
+    PYTHONPATH=src python scripts/perf_report.py --suite batch
+
+    # Regenerate every BENCH_*.json in one pass:
+    PYTHONPATH=src python scripts/perf_report.py --suite all
 
     # Smoke mode (CI): run every workload once, no timing claims:
     PYTHONPATH=src python scripts/perf_report.py --smoke
@@ -327,6 +338,89 @@ def run_hybrid_suite(args) -> int:
     return 0 if meets_target else 1
 
 
+def run_batch_suite(args) -> int:
+    """Time e06's seed-batch path against its scalar per-seed path.
+
+    The same multi-seed workload runs both ways cold in one process:
+    scalar (one simulation per seed, the report's default path) and
+    batched (every seed a structure-of-arrays lane of one
+    ``SeedBatchRunner``).  The rendered tables must be byte-identical at
+    every size -- the batch path is a pure wall-clock lever -- and the
+    report-size row's speedup must clear 5x.  Writes ``BENCH_batch.json``;
+    smoke mode checks equivalence on a small run with no timing claims.
+    """
+    from repro.experiments.e06_variance import run as scalar_run
+    from repro.experiments.e06_variance import run_batch
+
+    if args.smoke:
+        kwargs = dict(n_runs=12, nblocks=8)
+        if scalar_run(**kwargs).render() != run_batch(**kwargs).render():
+            print("batch suite smoke FAILED: scalar/batch table mismatch",
+                  file=sys.stderr)
+            return 1
+        print("  batch suite: ok")
+        return 0
+
+    rows = {}
+    ok = True
+    print("timing scalar vs seed-batch e06 (same seeds, cold, "
+          f"best of {args.repeats}+):")
+    for label, n_runs in (("report_n60", 60), ("scaled_n600", 600),
+                          ("scaled_n2400", 2400)):
+        # Small rows finish in ~10 ms, where scheduler noise swamps a
+        # handful of repeats; scale the repeat count down-size so every
+        # row gets comparable total timing volume.
+        repeats = args.repeats * max(1, min(8, 2400 // n_runs))
+        scalar_s = batch_s = float("inf")
+        # Phase-grouped (all scalar repeats, then all batch repeats):
+        # interleaving lets the 50x-larger scalar pass evict the batch
+        # path's working set between every repeat, which biases best-of
+        # against the smaller side.
+        for _ in range(repeats):
+            start = time.perf_counter()
+            scalar_table = scalar_run(n_runs=n_runs)
+            scalar_s = min(scalar_s, time.perf_counter() - start)
+        for _ in range(repeats):
+            start = time.perf_counter()
+            batch_table = run_batch(n_runs=n_runs)
+            batch_s = min(batch_s, time.perf_counter() - start)
+        identical = scalar_table.render() == batch_table.render()
+        ok = ok and identical
+        rows[label] = {
+            "n_runs": n_runs,
+            "scalar_seconds": scalar_s,
+            "batch_seconds": batch_s,
+            "speedup": scalar_s / batch_s if batch_s else float("inf"),
+            "table_identical": identical,
+        }
+        print(f"  n={n_runs:<5d} scalar {scalar_s * 1e3:8.2f} ms  batch "
+              f"{batch_s * 1e3:8.2f} ms  {rows[label]['speedup']:6.2f}x  "
+              f"identical={identical}")
+
+    report_speedup = rows["report_n60"]["speedup"]
+    meets_target = report_speedup >= 5.0
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": args.repeats,
+        "experiment": "e06",
+        "rows": rows,
+        "report_speedup": report_speedup,
+        "speedup_target": 5.0,
+        "meets_target": meets_target,
+    }
+    out = args.out or "BENCH_batch.json"
+    Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(f"  report-size speedup     {report_speedup:6.2f}x "
+          f"(target 5x: {'met' if meets_target else 'MISSED'})")
+    if not ok:
+        print("batch suite FAILED: scalar/batch table mismatch",
+              file=sys.stderr)
+        return 1
+    return 0 if meets_target else 1
+
+
 def run_models_suite(args) -> int:
     """Time the component-model hot paths against their retained
     reference implementations and write ``BENCH_models.json``.
@@ -407,48 +501,15 @@ def run_models_suite(args) -> int:
     return 0
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--suite",
-                        choices=("engine", "report", "models", "campaign", "hybrid"),
-                        default="engine",
-                        help="engine microbenchmarks (default), full-report "
-                             "regeneration timings, component-model "
-                             "reference-vs-analytic timings, fault-campaign "
-                             "throughput + determinism, or hybrid-engine "
-                             "discrete-vs-fluid timings")
-    parser.add_argument("--save", metavar="PATH", help="write raw timings to PATH")
-    parser.add_argument("--baseline", metavar="PATH", help="baseline timings to compare against")
-    parser.add_argument("--out", metavar="PATH", default=None,
-                        help="report path (default BENCH_engine.json / BENCH_report.json)")
-    parser.add_argument("--repeats", type=int, default=5, help="best-of-N timing repeats")
-    parser.add_argument("--workers", type=int, default=4,
-                        help="pool size for the report suite's parallel passes")
-    parser.add_argument("--smoke", action="store_true",
-                        help="run each workload once with no timing output (CI rot check)")
-    parser.add_argument("--kernel-src", metavar="PATH", default=str(REPO_ROOT / "src"),
-                        help="src/ tree whose kernel to import (e.g. a `git worktree` "
-                             "of the pre-optimisation revision, to record a baseline)")
-    args = parser.parse_args(argv)
+def run_engine_suite(args) -> int:
+    """Time the kernel microbenchmarks (the default suite).
 
-    if not Path(args.kernel_src, "repro").is_dir():
-        parser.error(f"--kernel-src {args.kernel_src}: no repro package found there")
-    if args.baseline and not Path(args.baseline).is_file():
-        parser.error(f"--baseline {args.baseline}: file not found")
-
-    for entry in (args.kernel_src, str(REPO_ROOT / "benchmarks")):
-        if entry not in sys.path:
-            sys.path.insert(0, entry)
-
-    if args.suite == "report":
-        return run_report_suite(args)
-    if args.suite == "models":
-        return run_models_suite(args)
-    if args.suite == "campaign":
-        return run_campaign_suite(args)
-    if args.suite == "hybrid":
-        return run_hybrid_suite(args)
-
+    With ``--save`` the raw timings are written as a baseline; with
+    ``--baseline`` they are compared against one and the summary goes to
+    ``BENCH_engine.json``.  Under ``--suite all``, when neither is given,
+    the ``baseline_seconds`` stored in an existing ``BENCH_engine.json``
+    are reused so the comparison still has a denominator.
+    """
     from engine_workloads import WORKLOADS
 
     if args.smoke:
@@ -471,29 +532,100 @@ def main(argv=None) -> int:
         print(f"wrote {args.save}")
         return 0
 
+    baseline_results = None
     if args.baseline:
-        baseline = json.loads(Path(args.baseline).read_text())
-        report = {
-            "python": payload["python"],
-            "platform": payload["platform"],
-            "repeats": args.repeats,
-            "workloads": {},
-        }
-        for name, after in results.items():
-            base = baseline["results"].get(name)
-            entry = {"after_seconds": after["seconds"], "checksum": after["checksum"]}
-            if base is not None:
-                entry["baseline_seconds"] = base["seconds"]
-                entry["speedup"] = base["seconds"] / after["seconds"] if after["seconds"] else float("inf")
-            report["workloads"][name] = entry
-        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-        print(f"wrote {args.out}")
-        for name, entry in report["workloads"].items():
-            if "speedup" in entry:
-                print(f"  {name:20s} {entry['speedup']:6.2f}x")
+        baseline_results = json.loads(Path(args.baseline).read_text())["results"]
+    elif args.suite == "all":
+        prior = Path(args.out or "BENCH_engine.json")
+        if prior.is_file():
+            stored = json.loads(prior.read_text()).get("workloads", {})
+            baseline_results = {
+                name: {"seconds": entry["baseline_seconds"]}
+                for name, entry in stored.items()
+                if "baseline_seconds" in entry
+            }
+            print(f"  (baseline seconds reused from {prior})")
+
+    if baseline_results is None:
         return 0
 
+    report = {
+        "python": payload["python"],
+        "platform": payload["platform"],
+        "repeats": args.repeats,
+        "workloads": {},
+    }
+    for name, after in results.items():
+        base = baseline_results.get(name)
+        entry = {"after_seconds": after["seconds"], "checksum": after["checksum"]}
+        if base is not None:
+            entry["baseline_seconds"] = base["seconds"]
+            entry["speedup"] = base["seconds"] / after["seconds"] if after["seconds"] else float("inf")
+        report["workloads"][name] = entry
+    out = args.out or "BENCH_engine.json"
+    Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    for name, entry in report["workloads"].items():
+        if "speedup" in entry:
+            print(f"  {name:20s} {entry['speedup']:6.2f}x")
     return 0
+
+
+SUITES = {
+    "engine": run_engine_suite,
+    "report": run_report_suite,
+    "models": run_models_suite,
+    "campaign": run_campaign_suite,
+    "hybrid": run_hybrid_suite,
+    "batch": run_batch_suite,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite",
+                        choices=tuple(SUITES) + ("all",),
+                        default="engine",
+                        help="engine microbenchmarks (default), full-report "
+                             "regeneration timings, component-model "
+                             "reference-vs-analytic timings, fault-campaign "
+                             "throughput + determinism, hybrid-engine "
+                             "discrete-vs-fluid timings, seed-batch "
+                             "scalar-vs-batched timings, or all of them")
+    parser.add_argument("--save", metavar="PATH", help="write raw timings to PATH")
+    parser.add_argument("--baseline", metavar="PATH", help="baseline timings to compare against")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="report path (default BENCH_engine.json / BENCH_report.json)")
+    parser.add_argument("--repeats", type=int, default=5, help="best-of-N timing repeats")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size for the report suite's parallel passes")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run each workload once with no timing output (CI rot check)")
+    parser.add_argument("--kernel-src", metavar="PATH", default=str(REPO_ROOT / "src"),
+                        help="src/ tree whose kernel to import (e.g. a `git worktree` "
+                             "of the pre-optimisation revision, to record a baseline)")
+    args = parser.parse_args(argv)
+
+    if not Path(args.kernel_src, "repro").is_dir():
+        parser.error(f"--kernel-src {args.kernel_src}: no repro package found there")
+    if args.baseline and not Path(args.baseline).is_file():
+        parser.error(f"--baseline {args.baseline}: file not found")
+    if args.suite == "all" and args.out:
+        parser.error("--out is per-suite; each suite writes its own "
+                     "BENCH_*.json under --suite all")
+
+    for entry in (args.kernel_src, str(REPO_ROOT / "benchmarks")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+    if args.suite == "all":
+        rc = 0
+        for name, suite_fn in SUITES.items():
+            print(f"== {name} suite ==")
+            rc = max(rc, suite_fn(args))
+        return rc
+
+    return SUITES[args.suite](args)
 
 
 if __name__ == "__main__":

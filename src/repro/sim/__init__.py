@@ -3,9 +3,19 @@
 The kernel (:mod:`repro.sim.engine`), shared resources
 (:mod:`repro.sim.resources`), deterministic randomness
 (:mod:`repro.sim.random`), tracing (:mod:`repro.sim.trace`) and metrics
-(:mod:`repro.sim.metrics`) on which every simulated component is built.
+(:mod:`repro.sim.metrics`) on which every simulated component is built,
+plus the vectorized seed-batch engine (:mod:`repro.sim.batch`) that runs
+many seeds' timelines as structure-of-arrays lanes.
 """
 
+from .batch import (
+    BatchAvailability,
+    BatchInfeasible,
+    BatchMoments,
+    BatchResult,
+    LaneProgram,
+    SeedBatchRunner,
+)
 from .engine import (
     AllOf,
     AnyOf,
@@ -27,7 +37,8 @@ from .metrics import (
     UtilizationMeter,
 )
 from .fluid import FluidBlock, FluidServer
-from .random import RandomStreams, derive_seed
+from .mt import BankRandom, MersenneBank
+from .random import RandomStreams, derive_seed, derive_seeds
 from .resources import JobStats, RateServer, Resource, Store
 from .trace import Counter, TimeSeries, TraceRecord, Tracer
 
@@ -49,6 +60,9 @@ __all__ = [
     "FluidBlock",
     "RandomStreams",
     "derive_seed",
+    "derive_seeds",
+    "MersenneBank",
+    "BankRandom",
     "Tracer",
     "TraceRecord",
     "TimeSeries",
@@ -60,4 +74,10 @@ __all__ = [
     "AvailabilityMeter",
     "StreamingMoments",
     "P2Quantile",
+    "SeedBatchRunner",
+    "LaneProgram",
+    "BatchResult",
+    "BatchMoments",
+    "BatchAvailability",
+    "BatchInfeasible",
 ]

@@ -1,0 +1,100 @@
+"""Lazy build/load of the optional native MT seeding helper.
+
+:func:`load` compiles ``_mtseed.c`` with the system C compiler the first
+time it is called and returns a ctypes handle to the shared library, or
+``None`` when no compiler is available, the build fails, or the
+``REPRO_NO_NATIVE`` environment variable is set.  Callers must treat
+``None`` as "use the pure-numpy path" -- the native helper is a speedup,
+never a requirement, and both paths are bit-identical (pinned in
+``tests/sim/test_mt.py``).
+
+The shared object is cached next to this module (``_build/``), keyed by
+a hash of the C source so edits trigger a rebuild.  Everything stays
+inside the package directory; no global state is touched.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["load"]
+
+_SOURCE = Path(__file__).with_name("_mtseed.c")
+
+# Sentinel distinguishing "never tried" from "tried and failed (None)".
+_UNSET = object()
+_lib: object = _UNSET
+
+
+def _build_dir() -> Path:
+    return Path(__file__).with_name("_build")
+
+
+def _compile() -> Optional[ctypes.CDLL]:
+    source = _SOURCE.read_text()
+    compiler = os.environ.get("CC", "cc")
+    # -O3 + -march=native: the lane-major seeding loops are written to
+    # auto-vectorize, and the library is always built on the machine that
+    # runs it, so targeting the host ISA is safe; retry without the arch
+    # flag for compilers that reject it.
+    attempts = [
+        ["-O3", "-march=native", "-shared", "-fPIC"],
+        ["-O3", "-shared", "-fPIC"],
+    ]
+    target = None
+    for flags in attempts:
+        digest = hashlib.sha256(
+            "\0".join([source, compiler] + flags).encode()
+        ).hexdigest()[:16]
+        suffix = "dll" if sys.platform == "win32" else "so"
+        candidate = _build_dir() / f"_mtseed-{digest}.{suffix}"
+        if candidate.exists():
+            target = candidate
+            break
+        candidate.parent.mkdir(parents=True, exist_ok=True)
+        tmp = candidate.with_suffix(f".{suffix}.tmp{os.getpid()}")
+        cmd = [compiler, *flags, "-o", str(tmp), str(_SOURCE)]
+        result = subprocess.run(
+            cmd, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, timeout=60
+        )
+        if result.returncode == 0 and tmp.exists():
+            # Atomic publish so concurrent builders never load a
+            # half-written object; losing the race is fine, both
+            # artifacts are identical.
+            os.replace(tmp, candidate)
+            target = candidate
+            break
+    if target is None:
+        return None
+    lib = ctypes.CDLL(str(target))
+    lib.mt_seed_many.restype = None
+    lib.mt_seed_many.argtypes = [
+        ctypes.c_void_p,  # keys (uint32*)
+        ctypes.c_void_p,  # offsets (int64*)
+        ctypes.c_void_p,  # lens (int32*)
+        ctypes.c_int64,  # ngen
+        ctypes.c_void_p,  # states out (uint32*, N x ngen)
+        ctypes.c_void_p,  # doubles out (float64*, ngen x emit)
+        ctypes.c_int32,  # emit: doubles per generator (1..312)
+    ]
+    return lib
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """The native helper, building it on first use; ``None`` if unavailable."""
+    global _lib
+    if _lib is _UNSET:
+        if os.environ.get("REPRO_NO_NATIVE"):
+            _lib = None
+        else:
+            try:
+                _lib = _compile()
+            except (OSError, subprocess.SubprocessError, ValueError):
+                _lib = None
+    return _lib  # type: ignore[return-value]

@@ -72,6 +72,36 @@ class StreamingMoments:
         if x > self.maximum:
             self.maximum = x
 
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold another recorder's stream into this one, in place.
+
+        Chan et al.'s parallel-variance combine: the result is as if
+        every observation behind ``other`` had been pushed here.  Count,
+        min and max are exact; mean and variance agree with a single
+        combined stream to float rounding (the batch equivalence tests
+        pin 1e-9 against exact recomputation).  Returns ``self`` so lane
+        folds chain: ``reduce(lambda a, b: a.merge(b), lanes)``.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 = self._m2 + other._m2 + delta * delta * (self.count * other.count / total)
+        self.mean = self.mean + delta * (other.count / total)
+        self.count = total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        return self
+
     @property
     def variance(self) -> float:
         """Population variance of the observations so far (0 if empty)."""
@@ -178,6 +208,91 @@ class P2Quantile:
             frac = pos - lo
             return heights[lo] * (1 - frac) + heights[hi] * frac
         return heights[2]
+
+    def _cdf_points(self) -> Tuple[List[float], List[float]]:
+        """This estimator's piecewise-linear CDF as (heights, fractions).
+
+        While samples are retained the points are the exact empirical
+        CDF under the same convention as :meth:`value`; in marker mode
+        marker ``i`` at position ``n_i`` estimates the
+        ``(n_i - 1)/(count - 1)`` quantile.
+        """
+        heights = self._heights
+        if len(heights) < 5:
+            c = len(heights)
+            if c <= 1:
+                return list(heights), [1.0] * c
+            return list(heights), [k / (c - 1) for k in range(c)]
+        c = self._positions[4]
+        return sorted(heights), [(n - 1.0) / (c - 1.0) for n in self._positions]
+
+    @classmethod
+    def combine(cls, estimators: Sequence["P2Quantile"]) -> float:
+        """Lane-combine fallback: one q-quantile over several estimators.
+
+        Exact merging of P² sketches is impossible (markers discard the
+        samples), so this is tiered the way the batch engine needs:
+
+        * If every lane still retains its samples (< 5 observations
+          each), the pooled retained samples give the **exact** combined
+          quantile, same interpolation as the exact recorder.
+        * Otherwise the lanes' piecewise-linear marker CDFs are mixed
+          with count weights and the mixture is inverted at ``q`` —
+          approximate, but monotone in ``q`` and bounded by the pooled
+          extremes (properties pinned in ``tests/sim/test_lane_merge.py``).
+
+        All estimators must track the same ``q``.  Returns 0.0 when no
+        lane has observations (matching :meth:`value` on empty).
+        """
+        qs = {e.q for e in estimators}
+        if len(qs) > 1:
+            raise ValueError(f"estimators track different quantiles: {sorted(qs)}")
+        live = [e for e in estimators if e.count > 0]
+        if not live:
+            return 0.0
+        q = live[0].q
+        if all(len(e._heights) < 5 for e in live):
+            pooled = sorted(h for e in live for h in e._heights)
+            # _quantile's v*(1-f) + v*f interpolation can round an ulp
+            # past a tied extreme; the pooled-extremes bound is part of
+            # this method's contract, so clamp.
+            x = LatencyRecorder._quantile(pooled, q)
+            return min(max(x, pooled[0]), pooled[-1])
+        total = sum(e.count for e in live)
+        lanes = [(e.count / total,) + e._cdf_points() for e in live]
+
+        def mixture(x: float) -> float:
+            acc = 0.0
+            for weight, xs, ps in lanes:
+                if x < xs[0]:
+                    continue
+                if x >= xs[-1]:
+                    acc += weight
+                    continue
+                i = bisect_right(xs, x) - 1
+                if xs[i + 1] == xs[i]:
+                    acc += weight * ps[i + 1]
+                else:
+                    span = (x - xs[i]) / (xs[i + 1] - xs[i])
+                    acc += weight * (ps[i] + (ps[i + 1] - ps[i]) * span)
+            return acc
+
+        candidates = sorted({x for __, xs, __ in lanes for x in xs})
+        values = [mixture(x) for x in candidates]
+        if q <= values[0]:
+            return candidates[0]
+        for i in range(1, len(candidates)):
+            if values[i] >= q:
+                lo, hi = candidates[i - 1], candidates[i]
+                flo, fhi = values[i - 1], values[i]
+                if fhi <= flo:
+                    return hi
+                x = lo + (hi - lo) * (q - flo) / (fhi - flo)
+                # The interpolation can overshoot hi (or undershoot lo)
+                # by an ulp when the slope ratio rounds to ~1; the
+                # pooled-extremes bound is part of the contract.
+                return min(max(x, lo), hi)
+        return candidates[-1]
 
 
 class ThroughputMeter:

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Dict, List
 
-__all__ = ["RandomStreams", "derive_seed"]
+__all__ = ["RandomStreams", "derive_seed", "derive_seeds"]
 
 
 def derive_seed(root_seed: int, name: str) -> int:
@@ -32,6 +32,24 @@ def derive_seed(root_seed: int, name: str) -> int:
     payload = f"{root_seed}:{name}".encode("utf-8")
     digest = hashlib.sha256(payload).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def derive_seeds(root_seed: int, prefix: str, count: int) -> List[int]:
+    """``[derive_seed(root_seed, f"{prefix}{i}") for i in range(count)]``, faster.
+
+    Indexed stream families (one stream per run of a sweep) all hash the
+    same ``"{root_seed}:{prefix}"`` head; hashing it once and ``copy()``-ing
+    the digest state per index produces identical seeds at a fraction of
+    the cost, which matters when a batched experiment derives thousands
+    of per-lane seeds up front.
+    """
+    base = hashlib.sha256(f"{root_seed}:{prefix}".encode("utf-8"))
+    seeds = []
+    for i in range(count):
+        h = base.copy()
+        h.update(str(i).encode("utf-8"))
+        seeds.append(int.from_bytes(h.digest()[:8], "big"))
+    return seeds
 
 
 class RandomStreams:

@@ -1,0 +1,86 @@
+"""The seed-batch path is a pure wall-clock lever: tables are identical.
+
+``e06`` run scalar (one simulation per seed) and batched (all seeds as
+lanes of one :class:`~repro.sim.batch.SeedBatchRunner`) must render byte
+for byte the same, in every configuration -- including through
+``run_suite(batch=True)`` and its cache.  Infeasibility is an explicit,
+catchable signal (:class:`~repro.sim.batch.BatchInfeasible`), mirroring
+the hybrid engine's contract.
+
+Marked ``batch`` so CI can run this file as the fast equivalence subset.
+"""
+
+import pytest
+
+from repro.experiments import BATCH_EXPERIMENTS, run_batched
+from repro.experiments import e06_variance
+from repro.experiments.runner import run_suite
+from repro.sim.batch import BatchInfeasible
+
+pytestmark = pytest.mark.batch
+
+
+CONFIGS = {
+    "default-small": {"n_runs": 12, "nblocks": 10},
+    "multi-chunk": {
+        "n_runs": 9,
+        "nblocks": 200,
+        "stutter_mean_gap": 8.0,
+        "stutter_mean_duration": 2.5,
+        "seed": 77,
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_e06_batch_renders_identically(name):
+    kwargs = CONFIGS[name]
+    scalar = e06_variance.run(**kwargs).render()
+    batched = e06_variance.run_batch(**kwargs).render()
+    assert batched == scalar
+
+
+def test_e06_batch_identical_on_numpy_fallback(monkeypatch):
+    # Without the native seeder the batch path builds its RNG streams
+    # from plain random.Random; the table must not change.
+    kwargs = CONFIGS["default-small"]
+    with_native = e06_variance.run_batch(**kwargs).render()
+    monkeypatch.setattr("repro.sim._native.load", lambda: None)
+    without_native = e06_variance.run_batch(**kwargs).render()
+    assert without_native == with_native
+    assert without_native == e06_variance.run(**kwargs).render()
+
+
+def test_registry_lists_e06():
+    assert "e06" in BATCH_EXPERIMENTS
+    assert BATCH_EXPERIMENTS["e06"] is e06_variance.run_batch
+
+
+def test_run_batched_dispatches():
+    kwargs = CONFIGS["default-small"]
+    assert run_batched("e06", **kwargs).render() == e06_variance.run(**kwargs).render()
+
+
+def test_run_batched_unknown_id_raises_by_name():
+    # By-name idiom (same as HybridInfeasible): callers catch exactly
+    # this class to fall back to the scalar path.
+    with pytest.raises(BatchInfeasible):
+        run_batched("e16")
+
+
+def test_run_suite_batch_knob_is_invisible_in_the_tables():
+    scalar = run_suite(["e06", "e16"], cache=None)
+    batched = run_suite(["e06", "e16"], cache=None, batch=True)
+    assert [r.table.digest() for r in batched] == [r.table.digest() for r in scalar]
+    assert [r.experiment for r in batched] == ["e06", "e16"]
+    assert all(not r.cached for r in batched)
+
+
+def test_run_suite_batch_results_hit_the_cache(tmp_path):
+    from repro.analysis.cache import ResultCache
+
+    cold = run_suite(["e06"], cache=ResultCache(tmp_path), batch=True)
+    warm = run_suite(["e06"], cache=ResultCache(tmp_path))
+    assert not cold[0].cached
+    assert warm[0].cached
+    assert warm[0].table.digest() == cold[0].table.digest()

@@ -16,6 +16,7 @@ from repro.experiments import (
     e05_zones,
     e06_variance,
     e12_dht,
+    e16_nondeterminism,
     e19_prediction,
     e21_growth,
 )
@@ -25,6 +26,7 @@ CASES = {
     "e05": (e05_zones.run, {"scan_blocks": 800}),
     "e06": (e06_variance.run, {"n_runs": 8}),
     "e12": (e12_dht.run, {"n_ops": 150}),
+    "e16": (e16_nondeterminism.run, {"n_runs": 10, "n_dispatches": 400}),
     "e19": (e19_prediction.run, {"n_healthy": 4, "n_dying": 2, "horizon": 1000.0}),
     "e21": (e21_growth.run, {"n_blocks": 150, "new_counts": (0, 2)}),
     "a2": (a2_threshold.run, {"n_requests": 100, "t_values": (0.3, 3.0)}),

@@ -1,0 +1,321 @@
+"""Seed-batch kernel: unit behavior plus scalar-engine equivalence.
+
+The contract under test is the one batch.py's module docstring states:
+a :class:`LaneProgram` advanced by :class:`SeedBatchRunner` produces
+*bit-for-bit* the same completion times, counts and work totals as the
+same timeline run through the scalar :class:`RateServer` engine.  The
+property tests draw timelines from continuous RNG streams (the regime
+the engine is specified for -- ties between edges and completions are
+measure-zero) and compare with ``==``.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RateServer, Simulator
+from repro.sim.batch import (
+    BatchAvailability,
+    BatchInfeasible,
+    BatchMoments,
+    LaneProgram,
+    SeedBatchRunner,
+)
+from repro.sim.metrics import StreamingMoments
+from repro.sim.random import derive_seed
+
+import numpy as np
+
+
+def scalar_lane(start, works, edges, rate=1.0):
+    """Reference run: the same lane through Simulator + RateServer.
+
+    Returns (finish, jobs_completed, work_completed, response_times).
+    """
+    sim = Simulator()
+    server = RateServer(sim, rate)
+    responses = []
+
+    def edge_proc():
+        for when, new_rate in edges:
+            delay = when - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            server.set_rate(new_rate)
+
+    def workload():
+        yield sim.timeout(start)
+        for work in works:
+            stats = yield server.submit(work)
+            responses.append(stats.response_time)
+
+    sim.process(edge_proc())
+    sim.process(workload())
+    sim.run()
+    return (
+        responses and start + sum(responses) or start,
+        server.jobs_completed,
+        server.work_completed,
+        responses,
+    )
+
+
+def scalar_finish(start, works, edges, rate=1.0):
+    """Reference absolute completion time of the lane's last job."""
+    sim = Simulator()
+    server = RateServer(sim, rate)
+    finish = []
+
+    def edge_proc():
+        for when, new_rate in edges:
+            delay = when - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            server.set_rate(new_rate)
+
+    def workload():
+        yield sim.timeout(start)
+        for work in works:
+            yield server.submit(work)
+        finish.append(sim.now)
+
+    sim.process(edge_proc())
+    sim.process(workload())
+    sim.run()
+    return finish[0], server.jobs_completed, server.work_completed
+
+
+class TestKernelBasics:
+    def test_single_lane_constant_rate(self):
+        result = SeedBatchRunner([LaneProgram(start=1.0, works=[2.0, 3.0])]).run()
+        assert result.finish[0] == 6.0
+        assert result.makespan[0] == 5.0
+        assert result.jobs_completed[0] == 2
+        assert result.work_completed[0] == 5.0
+
+    def test_rate_scales_service_time(self):
+        lane = LaneProgram(start=0.0, works=[4.0], rate=2.0)
+        result = SeedBatchRunner([lane]).run()
+        assert result.finish[0] == 2.0
+
+    def test_edge_mid_job_conserves_work(self):
+        # 4 units at rate 1 for 2s (2 done), then rate 0.5: 4 more seconds.
+        lane = LaneProgram(start=0.0, works=[4.0], edges=iter([(2.0, 0.5)]))
+        result = SeedBatchRunner([lane]).run()
+        assert result.finish[0] == 6.0
+
+    def test_rate_zero_freezes_until_resumed(self):
+        lane = LaneProgram(
+            start=0.0, works=[2.0], edges=iter([(1.0, 0.0), (5.0, 1.0)])
+        )
+        result = SeedBatchRunner([lane]).run()
+        assert result.finish[0] == 6.0
+
+    def test_edges_before_start_are_rate_updates(self):
+        lane = LaneProgram(
+            start=3.0, works=[2.0], edges=iter([(0.5, 4.0), (1.0, 2.0)])
+        )
+        result = SeedBatchRunner([lane]).run()
+        assert result.finish[0] == 4.0  # served entirely at rate 2
+
+    def test_lanes_are_independent(self):
+        lanes = [
+            LaneProgram(start=0.0, works=[1.0]),
+            LaneProgram(start=0.0, works=[1.0], edges=iter([(0.5, 0.25)])),
+        ]
+        result = SeedBatchRunner(lanes).run()
+        assert result.finish[0] == 1.0
+        assert result.finish[1] == 2.5
+
+    def test_latency_moments_match_streaming_recorder(self):
+        lanes = [LaneProgram(start=0.0, works=[1.0, 2.0, 0.5]) for _ in range(3)]
+        result = SeedBatchRunner(lanes).run()
+        reference = StreamingMoments()
+        for value in (1.0, 2.0, 0.5):
+            reference.push(value)
+        for i in range(3):
+            lane = result.latency.lane(i)
+            assert lane.count == reference.count
+            assert lane.mean == reference.mean
+            assert lane.variance == reference.variance
+            assert lane.minimum == reference.minimum
+            assert lane.maximum == reference.maximum
+
+    def test_slo_availability_counts(self):
+        lanes = [
+            LaneProgram(start=0.0, works=[1.0, 3.0]),  # responses 1.0, 3.0
+            LaneProgram(start=0.0, works=[1.0, 1.0]),  # responses 1.0, 1.0
+        ]
+        result = SeedBatchRunner(lanes, slo=2.0).run()
+        meter = result.availability
+        assert meter is not None
+        assert int(meter.offered.sum()) == 4
+        assert int(meter.within_slo.sum()) == 3
+        assert meter.availability() == 3 / 4
+
+
+class TestInfeasibility:
+    def test_no_lanes(self):
+        with pytest.raises(BatchInfeasible):
+            SeedBatchRunner([])
+
+    def test_no_jobs(self):
+        with pytest.raises(BatchInfeasible):
+            SeedBatchRunner([LaneProgram(start=0.0, works=[])])
+
+    def test_bad_job_size(self):
+        for bad in (0.0, -1.0, math.inf, math.nan):
+            with pytest.raises(BatchInfeasible):
+                SeedBatchRunner([LaneProgram(start=0.0, works=[bad])])
+
+    def test_bad_start(self):
+        for bad in (-1.0, math.inf, math.nan):
+            with pytest.raises(BatchInfeasible):
+                SeedBatchRunner([LaneProgram(start=bad, works=[1.0])])
+
+    def test_negative_initial_rate(self):
+        with pytest.raises(BatchInfeasible):
+            SeedBatchRunner([LaneProgram(start=0.0, works=[1.0], rate=-1.0)])
+
+    def test_negative_edge_rate(self):
+        lane = LaneProgram(start=0.0, works=[1.0], edges=iter([(0.5, -2.0)]))
+        with pytest.raises(BatchInfeasible):
+            SeedBatchRunner([lane]).run()
+
+    def test_decreasing_edge_times(self):
+        lane = LaneProgram(
+            start=0.0, works=[1.0], edges=iter([(0.8, 0.5), (0.2, 1.0)])
+        )
+        with pytest.raises(BatchInfeasible):
+            SeedBatchRunner([lane]).run()
+
+    def test_frozen_lane_with_no_future_edge(self):
+        lane = LaneProgram(start=0.0, works=[1.0], rate=0.0)
+        with pytest.raises(BatchInfeasible):
+            SeedBatchRunner([lane]).run()
+
+    def test_max_events_guard(self):
+        def chatter():
+            t = 0.0
+            while True:
+                t += 1e-6
+                yield (t, 1.0)
+
+        lane = LaneProgram(start=0.0, works=[1.0], edges=chatter())
+        with pytest.raises(BatchInfeasible):
+            SeedBatchRunner([lane], max_events=10).run()
+
+
+class TestBatchMoments:
+    def test_masked_push_matches_scalar_welford(self):
+        rng = random.Random(5)
+        moments = BatchMoments(3)
+        references = [StreamingMoments() for _ in range(3)]
+        for _ in range(200):
+            values = np.array([rng.uniform(-5, 5) for _ in range(3)])
+            mask = np.array([rng.random() < 0.6 for _ in range(3)])
+            moments.push(values, mask)
+            for i in range(3):
+                if mask[i]:
+                    references[i].push(float(values[i]))
+        for i in range(3):
+            lane = moments.lane(i)
+            assert lane.count == references[i].count
+            assert lane.mean == references[i].mean
+            assert lane.variance == references[i].variance
+            assert lane.minimum == references[i].minimum
+            assert lane.maximum == references[i].maximum
+
+    def test_fold_equals_sequential_merge(self):
+        rng = random.Random(9)
+        moments = BatchMoments(4)
+        everything = []
+        for _ in range(50):
+            values = np.array([rng.uniform(0, 10) for _ in range(4)])
+            mask = np.ones(4, dtype=bool)
+            moments.push(values, mask)
+            everything.extend(values.tolist())
+        folded = moments.fold()
+        assert folded.count == len(everything)
+        assert folded.minimum == min(everything)
+        assert folded.maximum == max(everything)
+        exact_mean = sum(everything) / len(everything)
+        assert folded.mean == pytest.approx(exact_mean, abs=1e-9)
+
+
+class TestBatchAvailability:
+    def test_counts_are_exact(self):
+        meter = BatchAvailability(2, slo=1.0)
+        meter.push(np.array([0.5, 1.5]), np.array([True, True]))
+        meter.record_unserved(np.array([False, True]))
+        assert meter.offered.tolist() == [1, 2]
+        assert meter.within_slo.tolist() == [1, 0]
+        assert meter.unserved.tolist() == [0, 1]
+        assert meter.availability() == 1 / 3
+
+    def test_bad_slo(self):
+        with pytest.raises(ValueError):
+            BatchAvailability(1, slo=0.0)
+
+
+def _random_lane(rng, n_jobs, with_zero_rates):
+    """A continuous-draw lane timeline plus its materialized edge list."""
+    start = rng.uniform(0.0, 5.0)
+    works = [rng.uniform(0.05, 3.0) for _ in range(n_jobs)]
+    edges = []
+    t = 0.0
+    for k in range(12):
+        t += rng.expovariate(0.7)
+        if with_zero_rates and k % 4 == 2:
+            rate = 0.0
+        else:
+            rate = rng.uniform(0.1, 2.5)
+        edges.append((t, rate))
+    if edges and edges[-1][1] == 0.0:
+        edges.append((t + rng.expovariate(0.7), rng.uniform(0.5, 1.0)))
+    return start, works, edges
+
+
+class TestScalarEquivalence:
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=8),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_rate_server(self, seed, n_lanes, n_jobs, with_zero):
+        lanes = []
+        specs = []
+        for i in range(n_lanes):
+            rng = random.Random(derive_seed(seed, f"lane/{i}"))
+            start, works, edges = _random_lane(rng, n_jobs, with_zero)
+            specs.append((start, works, edges))
+            lanes.append(LaneProgram(start=start, works=works, edges=iter(edges)))
+        result = SeedBatchRunner(lanes).run()
+        for i, (start, works, edges) in enumerate(specs):
+            finish, jobs, work = scalar_finish(start, works, edges)
+            assert result.finish[i] == finish  # bit-for-bit, not approx
+            assert result.jobs_completed[i] == jobs
+            assert result.work_completed[i] == work
+            assert result.start[i] == start
+
+    def test_infinite_edge_stream_is_lazily_pulled(self):
+        # The lane finishes long before the generator would; the runner
+        # must not exhaust it.
+        pulled = []
+
+        def endless():
+            t = 0.0
+            rng = random.Random(3)
+            while True:
+                t += rng.expovariate(0.5)
+                pulled.append(t)
+                yield (t, rng.uniform(0.2, 1.5))
+
+        lane = LaneProgram(start=0.0, works=[1.0], edges=endless())
+        SeedBatchRunner([lane]).run()
+        assert len(pulled) < 50

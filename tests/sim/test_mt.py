@@ -1,0 +1,183 @@
+"""MersenneBank exactness: the bank replays ``random.Random`` bit for bit.
+
+The seed-batch engine's correctness argument leans on this module -- the
+bank must reproduce CPython's MT19937 *exactly*, on both the native
+(compiled helper) path and the pure-numpy fallback, for any seed
+``random.Random`` accepts.  Every comparison here is ``==``, never
+``approx``.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.mt import BankRandom, MersenneBank
+from repro.sim.random import derive_seed, derive_seeds
+
+
+def _reference_doubles(seed: int, count: int):
+    """What ``random.Random(seed)`` produces (one instance, reused)."""
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(count)]
+
+
+def _force_numpy_path(monkeypatch):
+    """Route MersenneBank construction through the pure-numpy seeder."""
+    monkeypatch.setattr("repro.sim._native.load", lambda: None)
+
+
+class TestExactness:
+    def test_small_seeds_match_reference(self):
+        seeds = [0, 1, 2, 11, 19, 42, 2**31, 2**32 - 1]
+        bank = MersenneBank(seeds)
+        for g, seed in enumerate(seeds):
+            assert bank.doubles(g, 32) == _reference_doubles(seed, 32)
+
+    def test_multi_block_streams_match(self):
+        # 700 doubles crosses two 312-double blocks per generator.
+        seeds = [7, 123456789]
+        bank = MersenneBank(seeds)
+        for g, seed in enumerate(seeds):
+            assert bank.doubles(g, 700) == _reference_doubles(seed, 700)
+
+    def test_partial_emit_streams_are_identical(self):
+        # A small emit= skips most of block 0's temper work at seed
+        # time; draws past the prefix (including into block 1) must
+        # complete the block transparently and match bit for bit.
+        seeds = [7, 123456789, 2**48 + 5]
+        partial = MersenneBank(seeds, emit=4)
+        for g, seed in enumerate(seeds):
+            assert partial.doubles(g, 4) == _reference_doubles(seed, 4)
+            assert partial.doubles(g, 700) == _reference_doubles(seed, 700)
+
+    def test_emit_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MersenneBank([1], emit=0)
+        with pytest.raises(ValueError):
+            MersenneBank([1], emit=313)
+
+    def test_derived_seed_batch_matches_reference(self):
+        # The shape the batch engine actually uses: many derive_seed keys.
+        seeds = derive_seeds(11, "e06/fault/", 40)
+        bank = MersenneBank(seeds)
+        for g, seed in enumerate(seeds):
+            assert bank.doubles(g, 20) == _reference_doubles(seed, 20)
+
+    def test_numpy_fallback_is_identical(self, monkeypatch):
+        seeds = [3, 2**40 + 17, 99]
+        native = [MersenneBank(seeds).doubles(g, 650) for g in range(len(seeds))]
+        _force_numpy_path(monkeypatch)
+        fallback_bank = MersenneBank(seeds)
+        for g, seed in enumerate(seeds):
+            assert fallback_bank.doubles(g, 650) == _reference_doubles(seed, 650)
+            assert fallback_bank.doubles(g, 650) == native[g]
+
+    def test_mixed_key_lengths_in_one_bank(self):
+        # Exercises the native scalar tail (interleaved groups need equal
+        # key lengths; a mixed bank breaks to one-at-a-time seeding).
+        seeds = [5, 2**64 + 3, 9, 2**100, 2**32, 1, 2, 3]
+        bank = MersenneBank(seeds)
+        for g, seed in enumerate(seeds):
+            assert bank.doubles(g, 16) == _reference_doubles(seed, 16)
+
+    @given(
+        st.lists(
+            st.integers(min_value=-(2**128), max_value=2**128),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_int_seeds(self, seeds):
+        # random.Random seeds with abs(seed)'s 32-bit words; the bank must
+        # agree for negative and multi-word seeds alike.
+        bank = MersenneBank(seeds)
+        for g, seed in enumerate(seeds):
+            assert bank.doubles(g, 8) == _reference_doubles(seed, 8)
+
+
+class TestBankRandomAdapter:
+    def test_random_uniform_expovariate_formulas(self):
+        seed = derive_seed(11, "adapter")
+        bank = MersenneBank([seed])
+        stream = bank.stream(0)
+        rng = random.Random(seed)
+        for _ in range(50):
+            assert stream.random() == rng.random()
+        for _ in range(20):
+            assert stream.uniform(0.0, 38.0) == rng.uniform(0.0, 38.0)
+        for _ in range(20):
+            assert stream.expovariate(1.0 / 15.0) == rng.expovariate(1.0 / 15.0)
+
+    def test_interleaved_draw_methods(self):
+        seed = 77
+        stream = MersenneBank([seed]).stream(0)
+        rng = random.Random(seed)
+        for i in range(60):
+            if i % 3 == 0:
+                assert stream.random() == rng.random()
+            elif i % 3 == 1:
+                assert stream.uniform(-2.0, 5.5) == rng.uniform(-2.0, 5.5)
+            else:
+                assert stream.expovariate(0.25) == rng.expovariate(0.25)
+
+    def test_streams_prefetch_changes_nothing(self):
+        seeds = [derive_seed(3, f"s/{i}") for i in range(6)]
+        plain = MersenneBank(seeds).streams(1, 5)
+        prefetched = MersenneBank(seeds).streams(1, 5, prefetch=16)
+        for a, b in zip(plain, prefetched):
+            draws_a = [a.expovariate(0.5) for _ in range(40)]
+            draws_b = [b.expovariate(0.5) for _ in range(40)]
+            assert draws_a == draws_b
+
+    def test_doubles_array_matches_streams(self):
+        seeds = [1, 2, 3, 4]
+        bank = MersenneBank(seeds)
+        arr = bank.doubles_array(5)
+        assert arr.shape == (4, 5)
+        for g, seed in enumerate(seeds):
+            assert arr[g].tolist() == _reference_doubles(seed, 5)
+
+    def test_vectorized_uniform_is_bit_identical(self):
+        # The e06 phase-start shortcut: 0.0 + high * r elementwise must
+        # equal CPython's uniform(0.0, high) exactly.
+        seeds = derive_seeds(11, "e06/phase/", 25)
+        bank = MersenneBank(seeds)
+        high = 2.0 * (15.0 + 4.0)
+        vectorized = (0.0 + high * bank.doubles_array(1)[:, 0]).tolist()
+        reference = [random.Random(s).uniform(0.0, high) for s in seeds]
+        assert vectorized == reference
+
+
+class TestConstruction:
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            MersenneBank([])
+
+    def test_oversized_seed_rejected(self):
+        with pytest.raises(ValueError):
+            MersenneBank([2 ** (32 * 625)])
+
+    def test_gens_property(self):
+        assert MersenneBank([1, 2, 3]).gens == 3
+
+
+class TestDeriveSeeds:
+    def test_matches_per_call_derivation(self):
+        root, prefix = 11, "e06/fault/"
+        assert derive_seeds(root, prefix, 64) == [
+            derive_seed(root, f"{prefix}{i}") for i in range(64)
+        ]
+
+    def test_zero_count(self):
+        assert derive_seeds(5, "x/", 0) == []
+
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=0, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_property_equality(self, root, count):
+        assert derive_seeds(root, "p/", count) == [
+            derive_seed(root, f"p/{i}") for i in range(count)
+        ]

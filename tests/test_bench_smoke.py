@@ -84,6 +84,16 @@ def test_perf_report_hybrid_suite_smoke_mode():
     assert "hybrid suite: ok" in result.stdout
 
 
+def test_perf_report_batch_suite_smoke_mode():
+    """The batch suite runs one small scalar-vs-batched e06 pass and
+    verifies the rendered tables are byte-identical."""
+    result = _run(
+        [sys.executable, "scripts/perf_report.py", "--suite", "batch", "--smoke"]
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "batch suite: ok" in result.stdout
+
+
 def test_perf_report_campaign_suite_smoke_mode():
     """The campaign suite runs a reduced sweep once and verifies a clean
     oracle plus a byte-identical in-process rerun."""
