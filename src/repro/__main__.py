@@ -54,16 +54,17 @@ def _cmd_report(args) -> int:
 
 def _cmd_campaign(args) -> int:
     from .faults.campaign import FAMILIES, WORKLOADS, run_campaign
-    from .policy import POLICIES
+    from .policy import POLICIES, MitigationPolicy
 
+    policy_names = (MitigationPolicy.name, *POLICIES)
     unknown = [f for f in args.families if f not in FAMILIES]
     unknown += [w for w in args.workloads if w not in WORKLOADS]
-    unknown += [p for p in args.policies if p not in POLICIES]
+    unknown += [p for p in args.policies if p not in policy_names]
     if unknown:
         print(f"unknown campaign names: {', '.join(unknown)}", file=sys.stderr)
         print(
             f"families: {', '.join(FAMILIES)}; workloads: "
-            f"{', '.join(WORKLOADS)}; policies: {', '.join(POLICIES)}",
+            f"{', '.join(WORKLOADS)}; policies: {', '.join(policy_names)}",
             file=sys.stderr,
         )
         return 2
@@ -129,7 +130,7 @@ def main(argv=None) -> int:
     )
     campaign_parser.add_argument(
         "--workloads", nargs="+", default=["raid10", "dht"],
-        metavar="WORKLOAD", help="workloads to drive (raid10, dht)",
+        metavar="WORKLOAD", help="workloads to drive (raid10, dht, surge)",
     )
     campaign_parser.add_argument(
         "--policies", nargs="+",

@@ -45,13 +45,6 @@ from .formal import (
     trace_of,
 )
 from .hedging import HedgeResult, HedgingScheduler
-from .hybrid import (
-    HybridInfeasible,
-    HybridRunner,
-    run_scenario_hybrid,
-    scale_scenario,
-    scale_workload,
-)
 from .prediction import PredictionOutcome, StutterTrendPredictor, score_predictions
 from .pull import PullScheduler, ScheduleResult
 from .registry import NotificationPolicy, PerformanceStateRegistry, StateReport
@@ -64,6 +57,28 @@ from .system import (
     System,
     WeightedRouter,
 )
+
+# repro.core.hybrid sits above repro.faults.campaign, which needs
+# repro.policy, which needs repro.core.estimator -- importing it eagerly
+# here would close that loop whenever repro.policy is imported first.
+_HYBRID_NAMES = (
+    "HybridInfeasible",
+    "HybridRunner",
+    "run_scenario_hybrid",
+    "scale_scenario",
+    "scale_workload",
+)
+
+
+def __getattr__(name):
+    if name in _HYBRID_NAMES:
+        from . import hybrid
+
+        value = getattr(hybrid, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "SUBSTRATES",

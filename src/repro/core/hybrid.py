@@ -7,8 +7,8 @@ transitions, where the replicated workload is a bank of underloaded FIFO
 servers whose behaviour has a closed form: every request is routed the
 same way, served in exactly ``work / rate`` seconds, and triggers no
 policy timer.  :class:`HybridRunner` exploits that: it fast-forwards the
-fault-free stretches analytically through a
-:class:`~repro.sim.fluid.FluidServer` and drops into exact discrete
+fault-free stretches analytically through the closed-form FIFO
+reconstruction in :mod:`repro.sim.fluid` and drops into exact discrete
 simulation only inside a *window* bracketing each fault transition.
 
 Boundary invariants (the contract the equivalence suite in
@@ -32,13 +32,31 @@ Boundary invariants (the contract the equivalence suite in
   window interrupts the fluid clock *at that instant* and opens an
   unplanned window there.  A fault source that never restores keeps the
   run discrete (correct, merely slow) rather than wrong.
-* **Feasibility is checked, not assumed.**  Fluid fast-forwarding is
-  only exact while per-member arrivals are slower than service
-  (``gap * n_groups > E``) and the policy's earliest timer
-  (:meth:`~repro.policy.MitigationPolicy.hybrid_action_delay`) cannot
-  fire on a fault-free request.  Violations raise
-  :class:`HybridInfeasible`, which :func:`repro.faults.campaign.run_scenario`
-  turns into a full discrete fallback.
+* **Saturated workloads are exact under timer-free policies.**  When
+  arrivals outpace service the backlog no longer clears between
+  windows; the runner then reconstructs every request's FIFO response
+  time in closed form (:func:`~repro.sim.fluid.fifo_uniform_ramps`) and
+  carries the queue *across* the fluid/discrete boundary: a window
+  opening mid-backlog inherits the fluid queue as pre-seeded
+  in-service/queued discrete jobs
+  (:meth:`~repro.faults.campaign.CampaignEngine.preseed_request`), and
+  a window closing with residual queue hands it back to the fluid bank
+  as per-member initial backlog (``busy_until``).  The
+  work-conservation identity *arrived = completed + backlog* is
+  enforced numerically at every handoff.  Queueing is only admitted
+  where routing stays provably constant: the policy must be timer-free
+  (``hybrid_action_delay() is None``) and any queueing replica group
+  must be *pinned* -- exactly one live member -- since with two live
+  members the discrete engine's queue-depth tie-breaking would
+  alternate routes in ways no per-group fluid model reproduces.
+* **Feasibility is checked, not assumed.**  Policies with timers keep
+  the strict underloaded preconditions: per-member arrivals slower
+  than service (``gap * n_groups > E``) and the earliest timer
+  (:meth:`~repro.policy.MitigationPolicy.hybrid_action_delay`) beyond
+  the fault-free response time.  Violations -- at bind time or
+  per-era -- raise :class:`HybridInfeasible`, which
+  :func:`repro.faults.campaign.run_scenario` turns into a full
+  discrete fallback.
 
 Policy state stays honest across the fluid stretches: the analytic
 completions are replayed into the policy via
@@ -50,14 +68,15 @@ observations a discrete run would have fed them.
 from __future__ import annotations
 
 import math
-from dataclasses import replace
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..faults import campaign
 from ..faults.model import ComponentState
-from ..sim.fluid import FluidBlock, FluidServer
+from ..sim.fluid import FluidRamp, fifo_uniform_ramps
 from ..sim.trace import COMPLETION
 from .system import System
 
@@ -106,6 +125,84 @@ def scale_scenario(workload: "CampaignWorkload", family: str, seed: int = 7,
     return campaign.generate_scenario(base, family, seed, index)
 
 
+@dataclass(frozen=True)
+class _PendingEra:
+    """One member's fluid backlog at a segment boundary.
+
+    Every request the fluid era admitted to member ``member`` but did
+    not complete by the boundary: ``count`` requests at global indices
+    ``first_index, first_index + stride, ...``, the head of which
+    entered service at ``head_start`` (which may lie *past* the
+    boundary when earlier obligations still block it).  ``tail`` holds
+    their closed-form response times as ``(first, step, count)`` ramp
+    segments and ``last_completion`` the analytic drain instant -- what
+    the end-of-run resolution and the handoff audit consume.
+    """
+
+    member: int
+    route: str
+    first_index: int
+    stride: int
+    count: int
+    head_start: float
+    service: float
+    rate: float
+    tail: Tuple[Tuple[float, float, int], ...]
+    last_completion: float
+
+
+def _ramp_values(segments) -> np.ndarray:
+    """Materialize ``(first, step, count)`` segments as one value array."""
+    if len(segments) == 1:
+        first, step, count = segments[0]
+        return first + step * np.arange(count, dtype=np.float64)
+    return np.concatenate(
+        [first + step * np.arange(count, dtype=np.float64)
+         for first, step, count in segments]
+    )
+
+
+def _split_ramps(segments, n: int):
+    """Split ramp segments into (first ``n`` values, the rest).
+
+    The tail's first value is computed as ``first + step * k`` -- the
+    same expression :func:`_ramp_values` evaluates for that element --
+    so splitting never perturbs a single float.
+    """
+    head, tail = [], []
+    taken = 0
+    for first, step, count in segments:
+        if taken + count <= n:
+            head.append((first, step, count))
+            taken += count
+        elif taken >= n:
+            tail.append((first, step, count))
+        else:
+            k = n - taken
+            head.append((first, step, k))
+            tail.append((first + step * k, step, count - k))
+            taken = n
+    return head, tail
+
+
+@contextmanager
+def _zero_queue_probe(engine):
+    """Temporarily shadow ``engine.queue_depth`` with the steady-state zero.
+
+    Route probing asks the policy to pick as if every queue were empty
+    (transient residuals at a window close are gone before any fluid
+    arrival lands).  The shadow must never outlive the probe: if a
+    policy ``pick`` raises, a leaked instance attribute would silently
+    zero every later routing decision in the run -- so it is removed in
+    a ``finally`` regardless of how the probe exits.
+    """
+    engine.queue_depth = lambda name: 0  # instance attr shadows the method
+    try:
+        yield
+    finally:
+        del engine.queue_depth
+
+
 class HybridRunner:
     """One (scenario, policy) run: fluid between fault windows, discrete inside.
 
@@ -116,6 +213,9 @@ class HybridRunner:
 
     def __init__(self, workload: "CampaignWorkload", scenario: "Scenario",
                  policy, resolution: int = 8):
+        # ``resolution`` is retained for call-site compatibility but
+        # unused: the FIFO delay reconstruction is exact (arithmetic
+        # ramps), so there is no latency quantization left to tune.
         self.workload = workload
         self.scenario = scenario
         self.system = System()
@@ -127,10 +227,20 @@ class HybridRunner:
         self.names = self.engine.component_names()
         self.index_of = {name: k for k, name in enumerate(self.names)}
         self.members = [self.system.components.get(name) for name in self.names]
-        self.fluid = FluidServer([workload.rate] * len(self.names),
-                                 resolution=resolution)
-        self._zeros = np.zeros(len(self.names), dtype=np.int64)
-        self.member_jobs = np.zeros(len(self.names), dtype=np.int64)
+        n_members = len(self.names)
+        #: The fluid bank: analytic clock, per-member service rates, and
+        #: per-member obligation horizon -- the instant every job already
+        #: admitted (fluid or discrete residual) finishes.  ``busy_until``
+        #: is what carries backlog *between* eras: a saturated era leaves
+        #: it past the boundary and the next era's arrivals queue behind.
+        self._fluid_now = 0.0
+        self.rates = np.full(n_members, float(workload.rate))
+        self.busy_until = np.zeros(n_members)
+        #: Unfinished fluid admissions per member, awaiting either a
+        #: window open (materialized as pre-seeded discrete jobs) or the
+        #: end-of-run analytic resolution.
+        self._pending_eras: Dict[int, _PendingEra] = {}
+        self.member_jobs = np.zeros(n_members, dtype=np.int64)
         #: Requests resolved analytically / failed instantly in fluid eras.
         self.fluid_jobs = 0
         self.fluid_failed = 0
@@ -144,7 +254,7 @@ class HybridRunner:
         self._open: dict = {}
         #: Recorder samples already banked into ``_chunks``.
         self._captured = 0
-        #: Chronological result chunks: ("fluid", [FluidBlock...]) or
+        #: Chronological result chunks: ("fluid", [FluidRamp...]) or
         #: ("window", [latency...]).
         self._chunks: List[Tuple[str, object]] = []
         #: Fluid completions awaiting replay into the policy
@@ -173,20 +283,27 @@ class HybridRunner:
         w = self.workload
         service = w.expected_service
         cohort_gap = w.gap * len(self.groups)
+        delay = self.policy.hybrid_action_delay()
+        self._action_delay = delay
+        if delay is None:
+            # Timer-free policies extend into the saturated regime: the
+            # per-era FIFO reconstruction is exact under queueing, and
+            # the per-era checks in _fluid_flow enforce that any group
+            # which actually queues is pinned to a single live member.
+            return
         if not cohort_gap > service * (1.0 + 1e-9):
             raise HybridInfeasible(
                 f"per-member arrival spacing {cohort_gap:.6g}s must exceed "
                 f"the nominal service time {service:.6g}s (fault-free "
-                "servers must idle between arrivals for fluid exactness)"
+                "servers must idle between arrivals for fluid exactness "
+                f"under the timer-bearing policy {self.policy.name!r})"
             )
-        delay = self.policy.hybrid_action_delay()
-        if delay is not None and delay <= service * (1.0 + 1e-9):
+        if delay <= service * (1.0 + 1e-9):
             raise HybridInfeasible(
                 f"policy {self.policy.name!r} may act after {delay:.6g}s, "
                 f"within the nominal service time {service:.6g}s -- "
                 "fault-free requests could trigger timers"
             )
-        self._action_delay = delay
 
     # -- the run loop --------------------------------------------------------------
 
@@ -218,6 +335,10 @@ class HybridRunner:
                 self._reseed()
                 continue
             break
+        # Backlog outstanding after the last era drains analytically
+        # (there is no further window to inherit it).
+        if self._pending_eras:
+            self._resolve_pending_tail()
         # The discrete engine runs to the drain horizon; mirror it, so
         # residual attempts from the last window complete and leftover
         # policy timers pop as no-ops.
@@ -278,65 +399,131 @@ class HybridRunner:
         return False
 
     def _fluid_flow(self, next_index: int, segment_end: float) -> int:
-        """Resolve arrivals in [fluid.now, segment_end) analytically."""
-        fluid = self.fluid
-        if segment_end <= fluid.now:
+        """Resolve arrivals in [_fluid_now, segment_end) analytically.
+
+        Per group, the era's equally-spaced arrivals are pushed through
+        the closed-form FIFO recurrence against the member's standing
+        obligations (``busy_until``): responses come back as at most two
+        arithmetic ramps, completions landing at or before
+        ``segment_end`` are banked as resolved, and the unfinished rest
+        becomes the member's :class:`_PendingEra` -- inherited by the
+        next discrete window (pre-seeded jobs) or, after the last era,
+        resolved analytically against the drain horizon.
+        """
+        if segment_end <= self._fluid_now:
             return next_index
         w = self.workload
-        n, gap = w.n_requests, w.gap
+        n, gap, work = w.n_requests, w.gap, w.work
         hi = next_index
         if next_index < n:
             hi = min(n, max(next_index, math.ceil(segment_end / gap - 1e-9)))
-        counts = np.zeros(len(self.names), dtype=np.int64)
-        failed = 0
         n_groups = len(self.engine.groups)
+        spacing = n_groups * gap
+        delay = self._action_delay
+        failed = 0
+        ramps: List[FluidRamp] = []
+        # A window open or the end-of-run tail always consumes pending
+        # eras before the next flow; one compact era record per member.
         for g in range(n_groups):
-            jobs = _count_congruent(next_index, hi, g, n_groups)
-            if not jobs:
+            first = next_index + ((g - next_index) % n_groups)
+            if first >= hi:
                 continue
+            jobs = (hi - 1 - first) // n_groups + 1
             route = self.routes[g]
             if route is None:
                 # Dead replica group: the discrete engine gives these up
                 # at arrival (no live member -> no attempt, no latency).
                 failed += jobs
-            else:
-                counts[self.index_of[route]] += jobs
-        blocks = fluid.advance(segment_end, counts, w.work)
-        self._check_blocks(blocks)
-        self.member_jobs += counts
-        self.fluid_jobs += int(counts.sum())
-        self.fluid_failed += failed
-        # Residual resolutions stepped since the last capture happened at
-        # or before this segment's start plus one service time -- bank
-        # them ahead of the segment's fluid blocks to keep the chunk
-        # list chronological.
-        self._capture_samples()
-        if blocks:
-            self._chunks.append(("fluid", blocks))
-            for block in blocks:
-                self._pending.append(
-                    (self.names[block.server], block.count, w.work, block.latency)
-                )
-        return hi
-
-    def _check_blocks(self, blocks: List[FluidBlock]) -> None:
-        backlog = float(np.max(self.fluid.queue_work())) if len(self.fluid) else 0.0
-        if backlog > 1e-9 * max(1.0, self.workload.work):
-            raise HybridInfeasible(
-                f"fluid backlog {backlog:.3g} accumulated outside a fault "
-                "window; arrivals outpace service"
-            )
-        delay = self._action_delay
-        for block in blocks:
-            if not math.isfinite(block.latency):
+                continue
+            m = self.index_of[route]
+            mu = float(self.rates[m])
+            if not (mu > 0.0 and math.isfinite(work / mu)):
                 raise HybridInfeasible(
                     "fluid segment routed work to a stopped/stalled server"
                 )
-            if delay is not None and block.latency >= delay:
+            service = work / mu
+            busy = float(self.busy_until[m])
+            # index * gap elementwise: the exact floats the discrete
+            # engine schedules arrivals at.
+            arrivals = np.arange(first, first + jobs * n_groups, n_groups,
+                                 dtype=np.float64) * gap
+            a0 = float(arrivals[0])
+            segments = fifo_uniform_ramps(a0, spacing, jobs, work, mu, busy)
+            flat = (len(segments) == 1 and segments[0][1] == 0.0
+                    and segments[0][0] == service)
+            if not flat:
+                if delay is not None:
+                    raise HybridInfeasible(
+                        f"arrivals queue on {route!r} under the "
+                        f"timer-bearing policy {self.policy.name!r}: "
+                        "ramped response times would desynchronize its "
+                        "latency-driven state from a discrete run"
+                    )
+                if not self._pinned(g):
+                    raise HybridInfeasible(
+                        f"arrivals queue on {route!r} while its replica "
+                        "group has other live members: discrete routing "
+                        "would depend on instantaneous queue depths the "
+                        "per-group fluid model cannot reproduce"
+                    )
+            elif not self._pinned(g):
+                # Multi-live groups keep the strict underloaded margins:
+                # at exactly critical spacing the discrete engine's
+                # completion-vs-arrival tie order decides routing.
+                if not spacing > service * (1.0 + 1e-9):
+                    raise HybridInfeasible(
+                        f"per-member arrival spacing {spacing:.6g}s must "
+                        f"exceed the service time {service:.6g}s on the "
+                        f"multi-member group of {route!r}"
+                    )
+            responses = _ramp_values(segments)
+            if delay is not None and float(responses[-1]) >= delay:
                 raise HybridInfeasible(
-                    f"fluid response time {block.latency:.6g}s reaches the "
-                    f"policy action delay {delay:.6g}s"
+                    f"fluid response time {float(responses[-1]):.6g}s "
+                    f"reaches the policy action delay {delay:.6g}s"
                 )
+            completions = arrivals + responses
+            n_done = int(np.searchsorted(completions, segment_end, side="right"))
+            done, tail = _split_ramps(segments, n_done)
+            if n_done:
+                ramps.extend(
+                    FluidRamp(m, f0, st, cnt) for f0, st, cnt in done
+                )
+                self._pending.append((route, n_done, work, service))
+                self.member_jobs[m] += n_done
+                self.fluid_jobs += n_done
+            if n_done < jobs:
+                prev_done = float(completions[n_done - 1]) if n_done else busy
+                self._pending_eras[m] = _PendingEra(
+                    member=m,
+                    route=route,
+                    first_index=first + n_done * n_groups,
+                    stride=n_groups,
+                    count=jobs - n_done,
+                    head_start=max(prev_done, float(arrivals[n_done])),
+                    service=service,
+                    rate=mu,
+                    tail=tuple(tail),
+                    last_completion=float(completions[-1]),
+                )
+            self.busy_until[m] = float(completions[-1])
+        self.fluid_failed += failed
+        # Residual resolutions stepped since the last capture happened
+        # inside this segment -- bank them ahead of the segment's fluid
+        # ramps to keep the chunk list ordering deterministic.
+        self._capture_samples()
+        if ramps:
+            self._chunks.append(("fluid", ramps))
+        self._fluid_now = segment_end
+        return hi
+
+    def _pinned(self, group_index: int) -> bool:
+        """True when the group has exactly one live member (fixed route)."""
+        live = 0
+        for name in self.engine.groups[group_index]:
+            if not self.system.components.get(name).stopped:
+                live += 1
+        return live == 1
 
     # -- discrete windows ----------------------------------------------------------
 
@@ -349,6 +536,8 @@ class HybridRunner:
             self._pending = []
         self._in_window = True
         self.windows_run += 1
+        if self._pending_eras:
+            self._materialize_pending()
         n, gap, horizon = w.n_requests, w.gap, w.horizon
         while sim.now < horizon:
             if (
@@ -385,6 +574,73 @@ class HybridRunner:
         self._capture_samples()
         return next_index
 
+    def _materialize_pending(self) -> None:
+        """Hand the fluid queue to the discrete window (backlog handoff).
+
+        Every request a fluid era admitted but did not complete re-enters
+        the discrete world on its member, in FIFO order, with its
+        historical arrival time: queued jobs carry their full work, and
+        the one job mid-service carries only its unserved residue (the
+        served share is credited via ``preseed_served`` when the job
+        completes).  The analytic obligation horizon must agree with the
+        materialized work to float slack -- the *arrived = completed +
+        backlog* identity at this boundary -- or the run refuses rather
+        than silently drifting.
+        """
+        now = self.system.now
+        w = self.workload
+        engine = self.engine
+        for m in sorted(self._pending_eras):
+            era = self._pending_eras[m]
+            component = self.members[m]
+            head_remaining = w.work
+            head_started = None
+            if era.head_start < now:
+                head_remaining = w.work - (now - era.head_start) * era.rate
+                if head_remaining <= 0.0:
+                    # Float edge: the head is analytically complete to
+                    # within rounding; hand over an epsilon residue so
+                    # its completion fires immediately in the window.
+                    head_remaining = 1e-12 * w.work
+                head_started = era.head_start
+            # Conservation audit: the member's standing obligations
+            # (residual discrete jobs still draining) plus the handed-over
+            # fluid queue must equal the analytic drain time's worth of
+            # work.
+            residual_work = 0.0
+            if component.busy:
+                eta = component.completion_eta()
+                if eta is None:
+                    raise HybridInfeasible(
+                        "window opened onto a frozen in-service job"
+                    )
+                residual_work = (
+                    (eta - now) * component.effective_rate
+                    + component.queue_length * w.work
+                )
+            materialized = (
+                residual_work + head_remaining + (era.count - 1) * w.work
+            )
+            analytic = (era.last_completion - now) * era.rate
+            if abs(analytic - materialized) > 1e-6 * max(1.0, materialized):
+                raise HybridInfeasible(
+                    f"backlog handoff on {era.route!r} violates work "
+                    f"conservation: analytic {analytic:.9g} vs "
+                    f"materialized {materialized:.9g}"
+                )
+            for j in range(era.count):
+                index = era.first_index + j * era.stride
+                request = engine.preseed_request(
+                    index,
+                    index * w.gap,
+                    era.route,
+                    head_remaining if j == 0 else w.work,
+                    head_started if j == 0 else None,
+                )
+                if not request.resolved:
+                    self._open[request.index] = request
+        self._pending_eras.clear()
+
     def _can_close(self, next_index: int) -> bool:
         """True when fluid fast-forwarding is exact from this instant on.
 
@@ -394,36 +650,50 @@ class HybridRunner:
         would swallow the rest of the run into the window.  Fluid
         exactness needs less:
 
-        * no component DEGRADED and nothing *queued* anywhere, though a
-          member may still be *serving* one residual job;
+        * no component DEGRADED;
+        * members of *pinned* replica groups (exactly one live member)
+          under a timer-free policy may carry arbitrary backlog -- their
+          route is fixed and the fluid FIFO reconstruction inherits the
+          queue exactly via ``busy_until`` at the next reseed;
+        * every other member has nothing queued, though it may still be
+          *serving* one residual job that drains before its next fluid
+          arrival, so fluid arrivals still land on idle servers;
         * every unresolved request is a fresh single attempt in service
-          that completes before the earliest timer its policy could
-          fire (``hybrid_action_delay`` past its submission), so its
-          resolution during the fluid era is a plain event replay;
-        * each residual drains before its member's next fluid arrival,
-          so fluid arrivals still land on idle servers.
+          whose resolution completes before the earliest timer its
+          policy could fire (``hybrid_action_delay`` past submission),
+          so it replays as a plain event during the fluid era.
         """
         for component in self.members:
             if component.stopped:
                 continue
             if component.state is not ComponentState.OK:
                 return False
-            if component.queue_length:
-                return False
         w = self.workload
         margin = 1e-9 * w.expected_service
+        delay = self._action_delay
+        relaxed = set()
+        if delay is None:
+            for g, group in enumerate(self.engine.groups):
+                live = [
+                    name for name in group
+                    if not self.system.components.get(name).stopped
+                ]
+                if len(live) == 1:
+                    relaxed.add(live[0])
         deadlines = {}
         latest = self.system.now
         for k, component in enumerate(self.members):
             if component.stopped or not component.busy:
                 continue
+            name = self.names[k]
+            if component.queue_length and name not in relaxed:
+                return False
             eta = component.completion_eta()
             if eta is None:
                 return False  # frozen at rate 0 (stall not flagged DEGRADED)
-            deadlines[self.names[k]] = eta
+            deadlines[name] = eta
             if eta > latest:
                 latest = eta
-        delay = self._action_delay
         for request in self._open.values():
             if request.attempts != 1 or request.outstanding != 1:
                 return False
@@ -433,7 +703,9 @@ class HybridRunner:
             n, gap = w.n_requests, w.gap
             n_groups = len(self.engine.groups)
             for g, route in enumerate(self._compute_routes()):
-                eta = deadlines.get(route) if route is not None else None
+                if route is None or route in relaxed:
+                    continue
+                eta = deadlines.get(route)
                 if eta is None:
                     continue
                 index = next_index + ((g - next_index) % n_groups)
@@ -449,13 +721,70 @@ class HybridRunner:
             self._captured = len(samples)
 
     def _reseed(self) -> None:
-        """Re-anchor the fluid model on post-window discrete state."""
-        if self.system.now > self.fluid.now:
-            self.fluid.advance(self.system.now, self._zeros, self.workload.work)
-        self.fluid.set_rates(
-            [0.0 if c.stopped else c.effective_rate for c in self.members]
-        )
+        """Re-anchor the fluid bank on post-window discrete state.
+
+        ``busy_until`` becomes each member's obligation horizon: the
+        in-service job's completion event time, plus one service time
+        per queued job.  The queued jobs' timers will be armed by the
+        discrete kernel as ``previous + work / rate`` chained additions,
+        so the horizon is built with the same chained additions -- the
+        fluid reconstruction inherits the exact floats the residual
+        drain will produce.
+        """
+        if self.system.now > self._fluid_now:
+            self._fluid_now = self.system.now
+        work = self.workload.work
+        for k, component in enumerate(self.members):
+            if component.stopped:
+                self.rates[k] = 0.0
+                self.busy_until[k] = self._fluid_now
+                continue
+            mu = component.effective_rate
+            self.rates[k] = mu
+            busy = self._fluid_now
+            if component.busy:
+                eta = component.completion_eta()
+                if eta is None or not mu > 0.0:
+                    raise HybridInfeasible(
+                        "window closed with a frozen in-service job"
+                    )
+                busy = eta
+                service = work / mu
+                for _ in range(component.queue_length):
+                    busy = busy + service
+            self.busy_until[k] = busy
         self.routes = self._compute_routes()
+
+    def _resolve_pending_tail(self) -> None:
+        """Resolve backlog outstanding past the last fluid era analytically.
+
+        After the final era there is no further window to inherit the
+        queue, so the pending jobs simply drain: their closed-form
+        response ramps are banked as results, provided the analytic
+        drain instant beats the discrete engine's horizon -- past it, a
+        discrete run would truncate the drain, so the hybrid run refuses
+        instead of disagreeing.
+        """
+        w = self.workload
+        horizon = w.horizon
+        ramps: List[FluidRamp] = []
+        for m in sorted(self._pending_eras):
+            era = self._pending_eras[m]
+            if era.last_completion > horizon:
+                raise HybridInfeasible(
+                    f"backlog on {era.route!r} drains at "
+                    f"t={era.last_completion:.6g}s, past the horizon "
+                    f"{horizon:.6g}s -- the discrete engine would truncate"
+                )
+            ramps.extend(
+                FluidRamp(m, f0, st, cnt) for f0, st, cnt in era.tail
+            )
+            self.member_jobs[m] += era.count
+            self.fluid_jobs += era.count
+        self._pending_eras.clear()
+        if ramps:
+            self._capture_samples()
+            self._chunks.append(("fluid", ramps))
 
     def _compute_routes(self) -> List[Optional[str]]:
         """The member each group's arrivals go to while the state holds.
@@ -469,8 +798,7 @@ class HybridRunner:
         any fluid arrival actually reaches the member.
         """
         engine = self.engine
-        engine.queue_depth = lambda name: 0  # instance attr shadows the method
-        try:
+        with _zero_queue_probe(engine):
             routes: List[Optional[str]] = []
             for group in engine.groups:
                 if all(self.system.components.get(m).stopped for m in group):
@@ -482,8 +810,6 @@ class HybridRunner:
                 )
                 routes.append(self.policy.pick(probe))
             return routes
-        finally:
-            del engine.queue_depth
 
     # -- outcome -------------------------------------------------------------------
 
@@ -496,10 +822,10 @@ class HybridRunner:
         slo_violations = 0
         for kind, data in self._chunks:
             if kind == "fluid":
-                for block in data:
-                    latencies.extend([block.latency] * block.count)
-                    if block.latency > slo:
-                        slo_violations += block.count
+                for ramp in data:
+                    values = ramp.values()
+                    latencies.extend(values.tolist())
+                    slo_violations += int(np.count_nonzero(values > slo))
             else:
                 latencies.extend(data)
                 for sample in data:
@@ -515,6 +841,8 @@ class HybridRunner:
             server_work[name] = (
                 self.system.components.get(name).work_completed
                 + int(self.member_jobs[k]) * w.work
+                # Fluid-era share of jobs handed over mid-service.
+                + engine.preseed_served.get(name, 0.0)
             )
         return campaign.ScenarioOutcome(
             workload=w.name,
@@ -535,16 +863,6 @@ class HybridRunner:
             failed_requests=engine.failed_requests + self.fluid_failed,
             server_work=server_work,
         )
-
-
-def _count_congruent(lo: int, hi: int, residue: int, mod: int) -> int:
-    """How many k in [lo, hi) satisfy k % mod == residue."""
-    if hi <= lo:
-        return 0
-    first = lo + ((residue - lo) % mod)
-    if first >= hi:
-        return 0
-    return (hi - 1 - first) // mod + 1
 
 
 def run_scenario_hybrid(workload: "CampaignWorkload", scenario: "Scenario",

@@ -102,6 +102,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., Table]] = {
 # freely -- including through shared result caches.
 BATCH_EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "e06": e06_variance.run_batch,
+    "e14": e14_availability.run_batch,
 }
 
 

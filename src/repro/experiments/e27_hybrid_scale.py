@@ -22,6 +22,12 @@ This experiment certifies the trade is free, then uses it:
   ``replay-ok`` only if the outcome digest is byte-identical; the
   ``oracle`` column audits work conservation and no-hang exactly as the
   discrete engine's runs are audited.
+* **Saturated rows** -- the same certification on the ``surge``
+  workload, where arrivals outpace service (~25% sustained overload)
+  and the fluid path must reconstruct per-request FIFO queueing delays
+  in closed form.  Only timer-free policies are in the exact regime
+  there (``no-mitigation`` and ``stutter-aware``); timer-bearing
+  policies raise :class:`~repro.core.hybrid.HybridInfeasible` at bind.
 
 No wall-clock columns appear here (EXPERIMENTS.md must be byte-stable);
 the timing claim lives in ``scripts/perf_report.py --suite hybrid``,
@@ -108,6 +114,8 @@ def run(
     workloads: Sequence[str] = ("raid10", "dht"),
     policies: Sequence[str] = ("fixed-timeout", "adaptive-timeout",
                                "retry-backoff", "hedged", "stutter-aware"),
+    saturated_workloads: Sequence[str] = ("surge",),
+    saturated_policies: Sequence[str] = ("no-mitigation", "stutter-aware"),
 ) -> Table:
     """Regenerate the E27 table: overlap equivalence + million-client scale."""
     table = Table(
@@ -122,16 +130,20 @@ def run(
             "Oracle audits work conservation and no-hang on every run.  "
             f"Scenario family: {family!r}, fault extent pinned to the "
             "stock workload span (scale_scenario), so scaling clients "
-            "grows the fault-free stretch the fluid fast path covers."
+            "grows the fault-free stretch the fluid fast path covers.  "
+            "The 'surge' rows are saturated (arrivals ~25% faster than "
+            "service): the fluid path reconstructs FIFO queueing delays "
+            "in closed form and hands the backlog across window edges."
         ),
     )
-    for name in workloads:
+    for name in list(workloads) + list(saturated_workloads):
+        cell_policies = saturated_policies if name in saturated_workloads else policies
         stock = campaign.WORKLOADS[name]
         overlap = scale_workload(stock, overlap_requests)
         big = scale_workload(stock, scale_requests)
         overlap_scenario = scale_scenario(overlap, family, seed, 0)
         big_scenario = scale_scenario(big, family, seed, 0)
-        for policy in policies:
+        for policy in cell_policies:
             discrete = campaign.run_scenario(overlap, overlap_scenario, policy)
             _row(table, name, policy, discrete, "discrete", "--")
             try:

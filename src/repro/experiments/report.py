@@ -125,7 +125,10 @@ CLAIMS = {
     "common case -- evaluating mitigation at that scale needs the hybrid "
     "fluid/discrete engine, which is certified exact against the discrete "
     "engine at overlap sizes and then drives the same fault scenarios at a "
-    "million concurrent clients.",
+    "million concurrent clients.  The saturated 'surge' rows extend the "
+    "exact regime to sustained overload: per-request FIFO queueing delays "
+    "are reconstructed in closed form and the backlog is handed across "
+    "fluid/discrete window edges under a work-conservation audit.",
     "a1": "Section 3.1 design choice: 'erratic performance may occur quite "
     "frequently, and thus distributing that information may be overly "
     "expensive' vs. exporting 'performance state' for persistent faults.",

@@ -179,13 +179,16 @@ FAMILIES: Dict[str, Callable[..., List[FaultEvent]]] = {
 class CampaignWorkload:
     """A replicated open-loop workload the campaign drives.
 
-    ``n_pairs`` mirror pairs of :class:`DegradableServer` (named
-    ``{prefix}0 .. {prefix}{2*n_pairs-1}``, pair *k* holding members
-    ``2k`` and ``2k+1``); ``n_requests`` requests of ``work`` units
-    arrive one per ``gap`` seconds, assigned round-robin across pairs.
-    Any replicated substrate reachable through the ComponentRegistry can
-    be expressed this way -- the two stock instances model E1's RAID-10
-    mirrored reads and E12's replicated DHT gets.
+    ``n_pairs`` replica groups of ``group_size`` :class:`DegradableServer`
+    each (named ``{prefix}0 .. {prefix}{group_size*n_pairs-1}``, group *k*
+    holding members ``group_size*k .. group_size*k+group_size-1``);
+    ``n_requests`` requests of ``work`` units arrive one per ``gap``
+    seconds, assigned round-robin across groups.  Any replicated
+    substrate reachable through the ComponentRegistry can be expressed
+    this way -- the stock instances model E1's RAID-10 mirrored reads
+    (mirror pairs), E12's replicated DHT gets, and a saturated
+    single-replica ingest tier (``group_size=1``) whose arrival spacing
+    sits *below* the service time, so queues grow for the whole run.
     """
 
     name: str
@@ -198,6 +201,7 @@ class CampaignWorkload:
     n_requests: int
     slo_factor: float = 12.0
     horizon_factor: float = 6.0
+    group_size: int = 2
 
     @property
     def expected_service(self) -> float:
@@ -219,15 +223,16 @@ class CampaignWorkload:
         """Simulated time budget; everything must drain before this."""
         return self.horizon_factor * self.span
 
-    def group_names(self) -> List[Tuple[str, str]]:
-        """Mirror-pair member names, without building anything."""
+    def group_names(self) -> List[Tuple[str, ...]]:
+        """Replica-group member names, without building anything."""
+        size = self.group_size
         return [
-            (f"{self.prefix}{2 * k}", f"{self.prefix}{2 * k + 1}")
+            tuple(f"{self.prefix}{size * k + j}" for j in range(size))
             for k in range(self.n_pairs)
         ]
 
-    def build(self, system: System) -> List[Tuple[str, str]]:
-        """Construct and register the servers; returns the pair names."""
+    def build(self, system: System) -> List[Tuple[str, ...]]:
+        """Construct and register the servers; returns the group names."""
         groups = self.group_names()
         spec = PerformanceSpec(self.rate, tolerance=0.2)
         for pair in groups:
@@ -248,6 +253,16 @@ WORKLOADS: Dict[str, CampaignWorkload] = {
     "dht": CampaignWorkload(
         name="dht", substrate="cluster", prefix="brick",
         n_pairs=4, rate=100.0, work=1.0, gap=0.006, n_requests=1200,
+    ),
+    # Saturated ingest tier: four unreplicated shards driven ~25% above
+    # their service rate (per-shard arrival spacing 4 * 0.0182 = 0.0728 s
+    # vs a 0.0909 s service time), so every shard queues for the whole
+    # run and latency compounds -- the overload regime the hybrid
+    # engine's FIFO delay reconstruction exists for.
+    "surge": CampaignWorkload(
+        name="surge", substrate="storage", prefix="shard",
+        n_pairs=4, rate=5.5, work=0.5, gap=0.0182, n_requests=320,
+        group_size=1,
     ),
 }
 
@@ -378,6 +393,13 @@ class CampaignEngine:
         self.wasted_work = 0.0
         self.failed_work = 0.0
         self.failed_requests = 0
+        #: Work served *analytically* for jobs later handed to the
+        #: discrete engine mid-service (fluid-era head jobs pre-seeded by
+        #: the hybrid runner).  Keyed by member name; credited only when
+        #: the handed-over job completes, so a fail-stop that kills the
+        #: job leaves the fluid share uncounted, exactly as a full
+        #: discrete run would.
+        self.preseed_served: Dict[str, float] = {}
         #: Optional observer invoked with each request as it resolves
         #: (claimed or given up).  The hybrid runner uses this to decide
         #: when a discrete window has gone quiescent.
@@ -442,6 +464,73 @@ class CampaignEngine:
             lambda ev: self._on_attempt(request, name, started, ev)
         )
         return True
+
+    def preseed_request(self, index: int, submitted_at: float, name: str,
+                        remaining: float,
+                        service_started: Optional[float] = None) -> Request:
+        """Materialize a fluid-era arrival as an already-queued discrete job.
+
+        The hybrid runner calls this at window open for every request the
+        fluid bank had admitted but not completed: the job re-enters the
+        discrete world on member ``name`` with ``remaining`` work left
+        (the full request work for queued jobs; the unserved residue for
+        the one job mid-service) and its *historical* ``submitted_at``,
+        so its eventual latency, accounting, and policy observation are
+        exactly what an end-to-end discrete run would have produced.
+
+        When the head job is mid-service (``remaining < work``), the
+        component's own completion telemetry would report the residue and
+        a partial service time; the report callback is replaced with one
+        publishing the full work and the true in-service duration from
+        ``service_started``, keeping stutter detectors blind to the
+        handoff.
+        """
+        work = self.workload.work
+        request = Request(
+            index=index,
+            work=work,
+            group=self.groups[index % len(self.groups)],
+            submitted_at=submitted_at,
+        )
+        self.requests.append(request)
+        component = self.system.components.get(name)
+        request.attempts += 1
+        request.outstanding += 1
+        request.tried[name] = request.tried.get(name, 0) + 1
+        self.issued_work += work
+        event = component.submit(remaining)
+        partial = remaining != work
+        if partial and service_started is not None:
+            bus = self.system.telemetry
+            try:
+                event.callbacks.remove(component._report_completion)
+            except ValueError:
+                pass  # telemetry inactive: nothing to correct
+            else:
+                started = service_started
+
+                def _publish(ev, name=name, started=started):
+                    if ev._ok:
+                        bus.completion(name, work, self.sim.now - started)
+
+                event.callbacks.append(_publish)
+        if partial:
+            bonus = work - remaining
+
+            def _credit(ev, name=name, bonus=bonus):
+                if ev._ok:
+                    self.preseed_served[name] = (
+                        self.preseed_served.get(name, 0.0) + bonus
+                    )
+
+            event.callbacks.append(_credit)
+        # ``started=submitted_at``: the attempt conceptually began at
+        # arrival, so the policy's observed elapsed time is the full
+        # response time -- the same number the discrete run feeds it.
+        event.callbacks.append(
+            lambda ev: self._on_attempt(request, name, submitted_at, ev)
+        )
+        return request
 
     def give_up(self, request: Request) -> None:
         """Resolve a request as failed (no live replica remains)."""

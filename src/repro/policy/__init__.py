@@ -62,7 +62,15 @@ POLICIES = {
 
 
 def make_policy(name: str) -> MitigationPolicy:
-    """A fresh instance of the named standard policy."""
+    """A fresh instance of the named standard policy.
+
+    ``"no-mitigation"`` -- the timer-free base policy -- is also
+    accepted: it is a meaningful control (route once, react only to
+    fail-stop) but stays out of :data:`POLICIES` so the standard
+    campaign scorecards keep their five-row shape.
+    """
+    if name == MitigationPolicy.name:
+        return MitigationPolicy()
     try:
         factory = POLICIES[name]
     except KeyError:

@@ -36,7 +36,13 @@ from .metrics import (
     ThroughputMeter,
     UtilizationMeter,
 )
-from .fluid import FluidBlock, FluidServer
+from .fluid import (
+    FluidBlock,
+    FluidRamp,
+    FluidServer,
+    fifo_completions,
+    fifo_uniform_ramps,
+)
 from .mt import BankRandom, MersenneBank
 from .random import RandomStreams, derive_seed, derive_seeds
 from .resources import JobStats, RateServer, Resource, Store
@@ -58,6 +64,9 @@ __all__ = [
     "JobStats",
     "FluidServer",
     "FluidBlock",
+    "FluidRamp",
+    "fifo_completions",
+    "fifo_uniform_ramps",
     "RandomStreams",
     "derive_seed",
     "derive_seeds",

@@ -86,12 +86,21 @@ class LaneProgram:
     generator replaying a fault injector's RNG stream — and may be
     infinite: the runner pulls edges only while the lane is live.
     ``rate`` is the rate in force before the first edge.
+
+    ``arrivals`` switches the lane from closed-loop to *open* arrivals:
+    ``arrivals[j]`` is job ``j``'s submission instant (so
+    ``arrivals[0] == start``), and each job enters service at
+    ``max(arrival, predecessor completion)`` — exactly
+    :meth:`RateServer.submit <repro.sim.resources.RateServer.submit>`
+    on a server that may be busy or idle.  Response times are measured
+    from the arrival, as the scalar engine measures them.
     """
 
     start: float
     works: Sequence[float]
     edges: Iterator[Tuple[float, float]] = field(default_factory=lambda: iter(()))
     rate: float = 1.0
+    arrivals: Optional[Sequence[float]] = None
 
     def validate(self) -> None:
         """Reject programs the exact kernel cannot honor."""
@@ -104,6 +113,22 @@ class LaneProgram:
                 raise BatchInfeasible(f"job size must be finite and > 0, got {w}")
         if not (math.isfinite(self.rate) and self.rate >= 0.0):
             raise BatchInfeasible(f"initial rate must be finite and >= 0, got {self.rate}")
+        if self.arrivals is not None:
+            if len(self.arrivals) != len(self.works):
+                raise BatchInfeasible(
+                    f"arrivals/works length mismatch: {len(self.arrivals)} vs {len(self.works)}"
+                )
+            if float(self.arrivals[0]) != float(self.start):
+                raise BatchInfeasible(
+                    f"arrivals[0] must equal start, got {self.arrivals[0]} vs {self.start}"
+                )
+            prev = -math.inf
+            for a in self.arrivals:
+                if not (math.isfinite(a) and a >= prev):
+                    raise BatchInfeasible(
+                        f"arrivals must be finite and nondecreasing; got {a} after {prev}"
+                    )
+                prev = a
 
 
 class BatchMoments:
@@ -197,6 +222,17 @@ class BatchAvailability:
         self.offered += mask
         self.unserved += mask
 
+    def record_unserved_many(self, counts: np.ndarray) -> None:
+        """Record ``counts[i]`` never-served requests on lane ``i``.
+
+        The bulk form of :meth:`record_unserved`, used by the runner's
+        horizon cut: every job a truncated lane never completed counts
+        against availability, as the scalar harness's post-horizon
+        ``meter.record(None)`` loop does.
+        """
+        self.offered += counts
+        self.unserved += counts
+
     def availability(self) -> float:
         """Fraction of all offered load (every lane) served within SLO."""
         offered = int(self.offered.sum())
@@ -245,6 +281,14 @@ class SeedBatchRunner:
     ``max_events`` bounds the per-lane event depth as a runaway guard
     (e.g. an edge stream oscillating forever below the job's horizon);
     exceeding it raises :class:`BatchInfeasible` rather than spinning.
+
+    ``horizon`` mirrors the scalar harness's ``sim.run(until=horizon)``:
+    events at exactly the horizon still fire, but a lane whose next
+    event lies strictly beyond it is cut there (``finish = horizon``)
+    and its unfinished jobs are tallied as unserved on the availability
+    counters.  The cut also covers lanes frozen at rate 0 with no
+    future edge — with a horizon they are truncated like the scalar
+    run, instead of raising :class:`BatchInfeasible`.
     """
 
     def __init__(
@@ -252,14 +296,18 @@ class SeedBatchRunner:
         lanes: Sequence[LaneProgram],
         slo: Optional[float] = None,
         max_events: int = 10_000_000,
+        horizon: Optional[float] = None,
     ):
         if not lanes:
             raise BatchInfeasible("no lanes to run")
         for lane in lanes:
             lane.validate()
+        if horizon is not None and not (math.isfinite(horizon) and horizon > 0.0):
+            raise BatchInfeasible(f"horizon must be finite and > 0, got {horizon}")
         self._programs = list(lanes)
         self._slo = slo
         self._max_events = max_events
+        self._horizon = horizon
 
     def run(self) -> BatchResult:
         """Run every lane to completion; returns the batched result."""
@@ -312,8 +360,18 @@ class SeedBatchRunner:
                 edge_rates[i] = float(new_rate)
                 break
 
+        # Open-arrival lanes: per-job submission instants, padded with
+        # +inf so the gather below is in-bounds past each lane's end.
+        has_arr = np.zeros(n, dtype=bool)
+        arrivals = np.full((n, max_jobs), np.inf, dtype=np.float64)
+        for i, p in enumerate(programs):
+            if p.arrivals is not None:
+                has_arr[i] = True
+                arrivals[i, : len(p.arrivals)] = [float(a) for a in p.arrivals]
+        any_arr = bool(has_arr.any())
+
         lane_starts = np.array(starts)
-        start_t = lane_starts.copy()  # inf once started
+        start_t = lane_starts.copy()  # inf while no submission is pending
         rate = np.array(rates)
         remaining = np.zeros(n)
         t_last = np.zeros(n)
@@ -323,7 +381,7 @@ class SeedBatchRunner:
         edge_r = np.array(edge_rates)
         job_ptr = np.zeros(n, dtype=np.int64)
         done = np.zeros(n, dtype=bool)
-        started = np.zeros(n, dtype=bool)
+        busy = np.zeros(n, dtype=bool)
 
         finish = np.zeros(n)
         jobs_completed = np.zeros(n, dtype=np.int64)
@@ -332,7 +390,7 @@ class SeedBatchRunner:
         availability = BatchAvailability(n, self._slo) if self._slo is not None else None
 
         lane_ids = np.arange(n)
-        works0 = works[:, 0].copy()
+        horizon = self._horizon
         t = np.empty(n)
         events = 0
         # Masked-out lanes (done, or idle at rate 0) produce inf/nan in
@@ -347,6 +405,20 @@ class SeedBatchRunner:
                 np.minimum(edge_t, timer, out=t)
                 np.minimum(t, start_t, out=t)
                 active = ~done
+                if horizon is not None:
+                    # sim.run(until=horizon): events at the horizon fire,
+                    # the first event strictly past it never does.  Frozen
+                    # lanes (next event +inf) are cut by the same test.
+                    over = active & (t > horizon)
+                    if over.any():
+                        np.copyto(finish, horizon, where=over)
+                        np.logical_or(done, over, out=done)
+                        np.copyto(timer, np.inf, where=over)
+                        np.copyto(edge_t, np.inf, where=over)
+                        np.copyto(start_t, np.inf, where=over)
+                        active = ~done
+                        if done.all():
+                            break
                 stalled = active & ~np.isfinite(t)
                 if stalled.any():
                     raise BatchInfeasible(
@@ -366,7 +438,10 @@ class SeedBatchRunner:
                 # fresh lane-width array per update.
                 if is_edge.any():
                     # RateServer.set_rate: _accrue() then re-arm the timer.
-                    accrue = is_edge & started
+                    # Idle lanes (parked open-arrival lanes, or lanes not
+                    # yet started) take the rate change with no accrual,
+                    # as set_rate on an idle server does.
+                    accrue = is_edge & busy
                     dec = (t - t_last) * rate
                     new_rem = np.maximum(remaining - dec, 0.0)
                     np.copyto(remaining, new_rem, where=accrue)
@@ -385,13 +460,16 @@ class SeedBatchRunner:
 
                 if is_start.any():
                     # RateServer.submit on an idle server: _start_next now.
-                    np.copyto(remaining, works0, where=is_start)
+                    # The gather indexes job_ptr (0 on first start; the
+                    # parked job's slot when an open-arrival lane wakes).
+                    nxt = works[lane_ids, np.minimum(job_ptr, max_jobs - 1)]
+                    np.copyto(remaining, nxt, where=is_start)
                     np.copyto(t_last, t, where=is_start)
                     np.copyto(submit_t, t, where=is_start)
                     live = is_start & (rate > 0.0)
                     eta = t + remaining / rate
                     np.copyto(timer, eta, where=live)
-                    np.logical_or(started, is_start, out=started)
+                    np.logical_or(busy, is_start, out=busy)
                     np.copyto(start_t, np.inf, where=is_start)
 
                 if is_timer.any():
@@ -414,26 +492,53 @@ class SeedBatchRunner:
                         np.add(work_completed, size, out=work_completed, where=complete)
                         jobs_completed += complete
                         job_ptr += complete
-                        more = complete & (job_ptr < n_jobs)
+                        job_idx = np.minimum(job_ptr, max_jobs - 1)
+                        pending = complete & (job_ptr < n_jobs)
+                        if any_arr:
+                            # Open-arrival lanes start the next job only if
+                            # it has arrived; otherwise the lane parks idle
+                            # until the arrival (a future is_start event).
+                            arr = arrivals[lane_ids, job_idx]
+                            park = pending & has_arr & (arr > t)
+                            more = pending & ~park
+                        else:
+                            park = None
+                            more = pending
                         if more.any():
-                            nxt = works[lane_ids, np.minimum(job_ptr, max_jobs - 1)]
+                            nxt = works[lane_ids, job_idx]
                             np.copyto(remaining, nxt, where=more)
                             np.copyto(submit_t, t, where=more)
+                            if any_arr:
+                                # A queued open-arrival job was submitted at
+                                # its arrival; responses measure from there.
+                                np.copyto(submit_t, arr, where=more & has_arr)
                             live = more & (rate > 0.0)
                             eta = t + remaining / rate
                             np.copyto(timer, np.inf, where=more)
                             np.copyto(timer, eta, where=live)
-                        ended = complete & ~more
+                        if park is not None and park.any():
+                            np.copyto(start_t, arr, where=park)
+                            np.copyto(timer, np.inf, where=park)
+                            busy &= ~park
+                        ended = complete & ~pending
                         if ended.any():
                             np.copyto(finish, t, where=ended)
                             np.logical_or(done, ended, out=done)
                             np.copyto(timer, np.inf, where=ended)
                             np.copyto(edge_t, np.inf, where=ended)
+                            busy &= ~ended
             else:
                 raise BatchInfeasible(
                     f"exceeded max_events={self._max_events} fused iterations "
                     f"with {int((~done).sum())} lane(s) still live"
                 )
+
+        if availability is not None:
+            # Jobs a horizon-cut lane never completed are offered-but-
+            # unserved, matching the scalar harness's post-run tally.
+            leftover = n_jobs - jobs_completed
+            if leftover.any():
+                availability.record_unserved_many(leftover)
 
         return BatchResult(
             start=lane_starts,

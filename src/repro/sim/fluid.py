@@ -31,12 +31,19 @@ exact discrete window.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
 
-__all__ = ["FluidBlock", "FluidServer"]
+__all__ = [
+    "FluidBlock",
+    "FluidRamp",
+    "FluidServer",
+    "fifo_completions",
+    "fifo_uniform_ramps",
+]
 
 #: Backlog below this is treated as empty (float accrual residue).
 _EPSILON = 1e-9
@@ -56,6 +63,127 @@ class FluidBlock:
     server: int
     latency: float
     count: int
+
+
+@dataclass(frozen=True, slots=True)
+class FluidRamp:
+    """``count`` fluid-resolved jobs whose response times form a ramp.
+
+    Job ``j`` (0-based within the ramp) saw response time
+    ``first + step * j``.  A :class:`FluidBlock` is the ``step == 0``
+    special case; a saturated FIFO run compresses into one ramp with
+    ``step = service - spacing`` instead of one sample per job, so the
+    queueing regime keeps the scale-friendly memory story.
+    """
+
+    server: int
+    first: float
+    step: float
+    count: int
+
+    def values(self) -> np.ndarray:
+        """Materialize the per-job response times (length ``count``)."""
+        return self.first + self.step * np.arange(self.count, dtype=np.float64)
+
+
+def fifo_uniform_ramps(
+    a0: float,
+    spacing: float,
+    count: int,
+    work: float,
+    rate: float,
+    busy_until: float = 0.0,
+) -> List[tuple]:
+    """Exact FIFO response times for equally-spaced deterministic arrivals.
+
+    ``count`` jobs of ``work`` units arrive at ``a0, a0 + spacing, ...``
+    at a FIFO server of constant ``rate`` that is busy with earlier
+    obligations until ``busy_until``.  With ``s = work / rate`` the
+    response recurrence ``D[j] = max(0, D[j-1] - spacing) + s`` has a
+    closed form: writing ``x[j] = D[j] - s`` and ``c = s - spacing``,
+
+    * ``x[0] = max(0, busy_until - a0)``;
+    * while the server stays busy, ``x[j] = x[0] + j * c`` (an arithmetic
+      ramp: saturated if ``c >= 0``, draining if ``c < 0``);
+    * once a draining queue empties, ``x[j] = 0`` (the flat underloaded
+      tail at exactly ``s``).
+
+    Returns at most two ``(first, step, count)`` segments covering all
+    ``count`` responses in arrival order.  These are the *same float
+    values* the discrete kernel produces up to one accumulation ulp per
+    chained completion, which is what lets the hybrid engine stay inside
+    its 1e-9 equivalence budget in the queueing regime.
+    """
+    if count <= 0:
+        return []
+    if not rate > 0.0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if not work > 0.0:
+        raise ValueError(f"work must be > 0, got {work}")
+    if count > 1 and not spacing > 0.0:
+        raise ValueError(f"spacing must be > 0, got {spacing}")
+    s = work / rate
+    x0 = busy_until - a0
+    if x0 < 0.0:
+        x0 = 0.0
+    c = s - spacing
+    if x0 <= 0.0 and c <= 0.0:
+        # Never queued: the underloaded flat regime.
+        return [(s, 0.0, count)]
+    if c >= 0.0:
+        # Saturated (or critically loaded with initial backlog): the
+        # busy period never ends within this batch.
+        return [(s + x0, c, count)]
+    # Draining: the ramp shrinks by ``spacing - s`` per arrival until the
+    # initial backlog is gone, then the tail is flat at ``s``.
+    n_ramp = int(math.ceil(x0 / -c))
+    while n_ramp > 0 and x0 + (n_ramp - 1) * c <= 0.0:
+        n_ramp -= 1
+    if n_ramp >= count:
+        return [(s + x0, c, count)]
+    out: List[tuple] = []
+    if n_ramp > 0:
+        out.append((s + x0, c, n_ramp))
+    out.append((s, 0.0, count - n_ramp))
+    return out
+
+
+def fifo_completions(
+    arrivals: Sequence[float],
+    works: Sequence[float],
+    rate: float,
+    busy_until: float = 0.0,
+) -> np.ndarray:
+    """Vectorized FIFO completion times for arbitrary arrival schedules.
+
+    The general closed form behind :func:`fifo_uniform_ramps` (which
+    exploits uniform spacing to stay O(1) in memory): with cumulative
+    service ``P[k] = sum(works[:k+1]) / rate``, job ``k`` completes at
+
+    ``C[k] = P[k] + max(busy_until, max_{i <= k}(arrivals[i] - P[i-1]))``
+
+    -- the inner max is the start of the busy period job ``k`` belongs
+    to.  Used as the oracle-side reference in the property tests; the
+    hybrid runner itself uses the ramp form.
+    """
+    a = np.asarray(arrivals, dtype=np.float64)
+    w = np.asarray(works, dtype=np.float64)
+    if a.ndim != 1 or a.shape != w.shape:
+        raise ValueError("arrivals and works must be matching 1-d sequences")
+    if a.size == 0:
+        return np.empty(0, dtype=np.float64)
+    if not rate > 0.0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if (np.diff(a) < 0).any():
+        raise ValueError("arrivals must be nondecreasing")
+    if not (w > 0).all():
+        raise ValueError("works must be > 0")
+    cum = np.cumsum(w) / rate
+    prev = np.empty_like(cum)
+    prev[0] = 0.0
+    prev[1:] = cum[:-1]
+    busy_start = np.maximum.accumulate(a - prev)
+    return cum + np.maximum(busy_until, busy_start)
 
 
 class FluidServer:

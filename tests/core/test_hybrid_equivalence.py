@@ -110,6 +110,88 @@ class TestScalePathProperties:
             run_scenario_hybrid(crowded, scenario, "fixed-timeout")
 
 
+class TestSaturatedEquivalence:
+    """The saturated regime: 'surge' arrivals outpace service by ~25%.
+
+    Only timer-free policies are in the exact regime there -- the fluid
+    path reconstructs per-request FIFO queueing delays in closed form
+    and hands the backlog across window edges.  Equivalence must hold
+    to the same bar as the underloaded workloads.
+    """
+
+    @pytest.mark.parametrize("policy", ("no-mitigation", "stutter-aware"))
+    @pytest.mark.parametrize("family", ("magnitude", "failstop"))
+    def test_surge_fast_subset(self, family, policy):
+        discrete, hybrid = _case("surge", family, policy)
+        _assert_equivalent(discrete, hybrid)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("index", (0, 1, 2))
+    @pytest.mark.parametrize("policy", ("no-mitigation", "stutter-aware"))
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_surge_full_matrix(self, family, policy, index):
+        discrete, hybrid = _case("surge", family, policy, index)
+        _assert_equivalent(discrete, hybrid)
+
+    def test_surge_uses_the_fluid_path(self):
+        workload = campaign.WORKLOADS["surge"]
+        scenario = campaign.generate_scenario(workload, "magnitude", 7, 0)
+        runner = HybridRunner(workload, scenario, "no-mitigation")
+        outcome = runner.run()
+        assert not outcome.violations
+        # Most requests resolve analytically; the window covers the rest.
+        assert runner.fluid_jobs > workload.n_requests // 4
+
+    @pytest.mark.parametrize("policy", ("fixed-timeout", "adaptive-timeout",
+                                        "retry-backoff", "hedged"))
+    def test_timer_bearing_policies_stay_infeasible(self, policy):
+        # Saturated ramps desync latency-driven timers from the discrete
+        # engine, so timer-bearing policies must still refuse at bind.
+        workload = campaign.WORKLOADS["surge"]
+        scenario = campaign.generate_scenario(workload, "magnitude", 7, 0)
+        with pytest.raises(HybridInfeasible):
+            run_scenario_hybrid(workload, scenario, policy)
+
+    def test_saturated_scale_rerun_is_digest_identical(self):
+        workload = scale_workload(campaign.WORKLOADS["surge"], 200_000)
+        scenario = scale_scenario(workload, "magnitude", 7, 0)
+        first = run_scenario_hybrid(workload, scenario, "no-mitigation")
+        second = run_scenario_hybrid(workload, scenario, "no-mitigation")
+        assert first.digest() == second.digest()
+        assert not first.violations
+
+
+class TestRouteProbeShadow:
+    def test_raising_policy_does_not_leak_queue_depth_shadow(self):
+        """The route probe's queue_depth shadow must die with the probe.
+
+        ``_compute_routes`` shadows ``engine.queue_depth`` with a
+        steady-state zero for the duration of the policy ``pick`` probe.
+        If a policy raises mid-probe and the shadow leaked, every later
+        routing decision in the run would silently see empty queues.
+        """
+
+        class Boom(RuntimeError):
+            pass
+
+        class RaisingPolicy:
+            def pick(self, request):
+                raise Boom("probe failure")
+
+        workload = campaign.WORKLOADS["raid10"]
+        scenario = campaign.generate_scenario(workload, "magnitude", 7, 0)
+        runner = HybridRunner(workload, scenario, "stutter-aware")
+        engine = runner.engine
+        original = engine.queue_depth
+        runner.policy = RaisingPolicy()
+        with pytest.raises(Boom):
+            runner._compute_routes()
+        # The instance-attribute shadow is gone: the name resolves back
+        # to the class method, which reads real queue state again.
+        assert "queue_depth" not in vars(engine)
+        assert engine.queue_depth == original
+
+
 class TestUnannouncedRateChange:
     def test_rogue_slowdown_pulse_forces_a_window(self):
         """A set_slowdown nobody announced must interrupt the fluid clock.

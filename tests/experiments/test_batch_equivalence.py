@@ -13,7 +13,7 @@ Marked ``batch`` so CI can run this file as the fast equivalence subset.
 import pytest
 
 from repro.experiments import BATCH_EXPERIMENTS, run_batched
-from repro.experiments import e06_variance
+from repro.experiments import e06_variance, e14_availability
 from repro.experiments.runner import run_suite
 from repro.sim.batch import BatchInfeasible
 
@@ -59,6 +59,36 @@ def test_registry_lists_e06():
 def test_run_batched_dispatches():
     kwargs = CONFIGS["default-small"]
     assert run_batched("e06", **kwargs).render() == e06_variance.run(**kwargs).render()
+
+
+def test_e14_batch_renders_identically():
+    # The round-robin row rides the open-arrival lane kernel (request k
+    # lands on server k % n unconditionally); the load-aware rows stay
+    # scalar in both calls, so the whole table must match byte for byte.
+    scalar = e14_availability.run(n_requests=240).render()
+    batched = e14_availability.run_batch(n_requests=240).render()
+    assert batched == scalar
+
+
+def test_e14_round_robin_cells_bit_identical():
+    from repro.experiments.e14_availability import _batch_round_robin, _run_policy
+
+    faults = (None, 0.05, 0.0)
+    batched = _batch_round_robin(
+        faults, n_servers=4, n_requests=300, arrival_gap=0.05, slo=0.5, seed=17
+    )
+    for fault in faults:
+        scalar = _run_policy(
+            "round-robin", fault, n_servers=4, n_requests=300,
+            arrival_gap=0.05, slo=0.5, seed=17,
+        )
+        # Availability is a ratio of integer counts; equality is exact.
+        assert batched[fault] == scalar, fault
+
+
+def test_registry_lists_e14():
+    assert "e14" in BATCH_EXPERIMENTS
+    assert BATCH_EXPERIMENTS["e14"] is e14_availability.run_batch
 
 
 def test_run_batched_unknown_id_raises_by_name():

@@ -29,8 +29,9 @@ def _rows(table):
 
 class TestE27Shape:
     def test_full_grid_present(self, table):
-        # workloads x policies x (discrete, hybrid-overlap, hybrid-scale)
-        assert len(table) == 2 * 2 * 3
+        # (workloads x policies + saturated workload x timer-free
+        # policies) x (discrete, hybrid-overlap, hybrid-scale)
+        assert len(table) == (2 * 2 + 1 * 2) * 3
 
     def test_every_overlap_row_is_exact(self, table):
         checks = [r["check"] for r in _rows(table) if r["engine"] == "hybrid"

@@ -175,7 +175,7 @@ class TestCampaignSweep:
         assert table.column("oracle") == ["ok"] * len(table)
 
     def test_workload_roster(self):
-        assert set(WORKLOADS) == {"raid10", "dht"}
+        assert set(WORKLOADS) == {"raid10", "dht", "surge"}
         for workload in WORKLOADS.values():
             assert workload.expected_service > 0
             assert workload.horizon > workload.span

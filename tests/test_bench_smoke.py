@@ -75,13 +75,28 @@ def test_perf_report_models_suite_smoke_mode():
 
 
 def test_perf_report_hybrid_suite_smoke_mode():
-    """The hybrid suite runs one small discrete-vs-hybrid head-to-head and
-    verifies the outcomes agree with a clean oracle."""
+    """The hybrid suite runs one small discrete-vs-hybrid head-to-head per
+    phase (underloaded 'dht' and saturated 'surge') and verifies the
+    outcomes agree with a clean oracle."""
     result = _run(
         [sys.executable, "scripts/perf_report.py", "--suite", "hybrid", "--smoke"]
     )
     assert result.returncode == 0, result.stdout + result.stderr
     assert "hybrid suite: ok" in result.stdout
+
+
+def test_bench_hybrid_artifact_has_saturated_phase():
+    """The committed BENCH_hybrid.json carries the saturated phase and its
+    10x gate was met when it was generated."""
+    import json
+
+    payload = json.loads((REPO_ROOT / "BENCH_hybrid.json").read_text())
+    assert payload["saturated_speedup_target"] == 10.0
+    assert payload["saturated_meets_target"] is True
+    assert payload["saturated"], "saturated head-to-head rows missing"
+    for entry in payload["saturated"].values():
+        assert entry["outcomes_match"] and entry["oracle_clean"]
+        assert entry["policy"] == "no-mitigation"
 
 
 def test_perf_report_batch_suite_smoke_mode():
