@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Spec lint: every bundled scenario/family spec must validate and compile.
+
+CI's spec-lint step runs this after any change: each file under
+``src/repro/scenarios/`` is parsed by the strict loader, compiled to
+its runtime form (workload wiring or family generator), checked for
+name/stem agreement, and -- for scenario specs -- probed for engine
+eligibility so a spec that silently stopped compiling can never ship.
+The planted-invalid fixtures under ``tests/scenario/fixtures/`` must
+all be *rejected* with a ``SpecError`` naming a field, proving the
+validator still has teeth.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/check_specs.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenario import (  # noqa: E402
+    FamilySpec,
+    SpecError,
+    compile_family,
+    compile_spec,
+    load_spec,
+    parse_spec,
+)
+from repro.scenario.bundle import spec_paths  # noqa: E402
+
+FIXTURE_DIR = REPO_ROOT / "tests" / "scenario" / "fixtures"
+
+
+def check_bundled() -> int:
+    failures = 0
+    paths = spec_paths()
+    if not paths:
+        print("no bundled spec files found", file=sys.stderr)
+        return 1
+    for path in paths:
+        try:
+            spec = load_spec(path)
+            if spec.name != path.stem:
+                raise SpecError(
+                    f"name {spec.name!r} does not match file stem {path.stem!r}"
+                )
+            if isinstance(spec, FamilySpec):
+                compile_family(spec)
+                detail = f"family ({spec.fault} on a drawn {spec.target})"
+            else:
+                compiled = compile_spec(spec)
+                engines = [
+                    name for name, (ok, _) in compiled.eligibility().items()
+                    if ok
+                ]
+                detail = (
+                    f"scenario ({spec.groups.count}x{spec.groups.size} "
+                    f"{spec.groups.substrate}; engines: {', '.join(engines)})"
+                )
+            # Round-trip: the canonical serialization must re-parse to
+            # the same spec, and the digest must be serialization-stable.
+            if parse_spec(spec.to_dict()) != spec:
+                raise SpecError("to_dict/parse round-trip changed the spec")
+            print(f"  ok       {path.name:18s} {detail}")
+        except SpecError as exc:
+            failures += 1
+            print(f"  INVALID  {path.name}: {exc}", file=sys.stderr)
+    return failures
+
+
+def check_fixtures() -> int:
+    failures = 0
+    fixtures = sorted(FIXTURE_DIR.glob("invalid_*.json"))
+    if not fixtures:
+        print(f"no planted-invalid fixtures under {FIXTURE_DIR}",
+              file=sys.stderr)
+        return 1
+    for path in fixtures:
+        try:
+            load_spec(path)
+        except SpecError as exc:
+            print(f"  rejected {path.name:34s} ({exc})")
+        else:
+            failures += 1
+            print(f"  ACCEPTED {path.name}: the validator lost its teeth",
+                  file=sys.stderr)
+    return failures
+
+
+def main() -> int:
+    print("bundled specs:")
+    failures = check_bundled()
+    print("planted-invalid fixtures:")
+    failures += check_fixtures()
+    if failures:
+        print(f"spec lint FAILED ({failures} problems)", file=sys.stderr)
+        return 1
+    print("spec lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Time the benchmark suites and emit JSON reports.
 
-Six suites, selected with ``--suite`` (or ``all`` to run every one):
+Seven suites, selected with ``--suite`` (or ``all`` to run every one):
 
 * ``engine`` (default) -- the kernel microbenchmarks, timed as
   baseline-vs-after (``BENCH_engine.json``);
@@ -23,7 +23,10 @@ Six suites, selected with ``--suite`` (or ``all`` to run every one):
   seeds as structure-of-arrays lanes of one
   ``repro.sim.batch.SeedBatchRunner``, cold, at the report size and
   scaled up (tables must be byte-identical; the report-size speedup must
-  clear 5x) (``BENCH_batch.json``).
+  clear 5x) (``BENCH_batch.json``);
+* ``sweep`` -- the generative scenario sweep: 100 machine-generated
+  scenarios on each engine, oracle-clean with a byte-identical rerun
+  digest (``BENCH_sweep.json``).
 
 Usage (from the repo root)::
 
@@ -452,6 +455,64 @@ def run_batch_suite(args) -> int:
     return 0 if meets_target else 1
 
 
+def run_sweep_suite(args) -> int:
+    """Time the generative scenario sweep and re-verify its determinism.
+
+    Runs ``repro.scenario.run_sweep`` on both engines in one process:
+    every generated scenario must come back oracle-clean, and a second
+    sweep under the same seed must reproduce the sweep digest
+    byte-identically.  Writes scenario-throughput numbers to
+    ``BENCH_sweep.json``; smoke mode shrinks the count and skips the
+    JSON.
+    """
+    from repro.scenario import run_sweep
+
+    count = 10 if args.smoke else 100
+    entries = {}
+    ok = True
+    for engine in ("discrete", "hybrid"):
+        start = time.perf_counter()
+        first = run_sweep(seed=7, count=count, engine=engine,
+                          verify_determinism=False)
+        elapsed = time.perf_counter() - start
+        second = run_sweep(seed=7, count=count, engine=engine,
+                           verify_determinism=False)
+        identical = first.digest() == second.digest()
+        clean = not first.violations
+        ok = ok and identical and clean
+        entries[engine] = {
+            "scenarios": count,
+            "seconds": elapsed,
+            "scenarios_per_second": count / elapsed if elapsed else float("inf"),
+            "sweep_sha256": first.digest(),
+            "byte_identical": identical,
+            "oracle_violations": len(first.violations),
+            "hybrid_fallbacks": len(first.fallbacks),
+        }
+        print(f"  {engine:8s} {count} scenarios in {elapsed:.2f} s "
+              f"({count / elapsed:.1f}/s), oracle clean={clean}, "
+              f"rerun identical={identical}, "
+              f"fallbacks={len(first.fallbacks)}")
+    if not ok:
+        print("sweep suite FAILED: oracle violation or digest drift",
+              file=sys.stderr)
+        return 1
+    if args.smoke:
+        print("  sweep suite: ok")
+        return 0
+
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "seed": 7,
+        "engines": entries,
+    }
+    out = args.out or "BENCH_sweep.json"
+    Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def run_models_suite(args) -> int:
     """Time the component-model hot paths against their retained
     reference implementations and write ``BENCH_models.json``.
@@ -609,6 +670,7 @@ SUITES = {
     "campaign": run_campaign_suite,
     "hybrid": run_hybrid_suite,
     "batch": run_batch_suite,
+    "sweep": run_sweep_suite,
 }
 
 

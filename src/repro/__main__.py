@@ -2,13 +2,14 @@
 
 Usage::
 
-    python -m repro list                 # enumerate experiment ids
+    python -m repro list                 # experiment ids + bundled scenarios
     python -m repro run e01 e14          # regenerate specific experiments
     python -m repro run all              # regenerate everything
     python -m repro report               # full EXPERIMENTS.md content
     python -m repro report --workers 4   # parallel cache-miss regeneration
     python -m repro report --no-cache    # recompute everything from scratch
     python -m repro campaign --seed 7    # fault-campaign policy scorecard
+    python -m repro sweep --count 100    # generative sweep vs. the oracle
 """
 
 from __future__ import annotations
@@ -27,6 +28,31 @@ def _cmd_list() -> int:
         claim = CLAIMS.get(key, "")
         first_sentence = claim.split(". ")[0][:90]
         print(f"{key:<5} {substrates[key]:<{width}}  {first_sentence}")
+    from .scenario import bundle
+
+    print()
+    print("bundled scenarios (src/repro/scenarios/):")
+    for name, compiled in bundle.scenarios().items():
+        spec = compiled.spec
+        shape = (
+            f"{spec.groups.count}x{spec.groups.size} {spec.groups.prefix}*"
+        )
+        verdicts = compiled.eligibility()
+        engines = []
+        for engine_name in ("discrete", "hybrid", "batch"):
+            eligible, reason = verdicts[engine_name]
+            if not eligible:
+                continue
+            qualifier = "*" if "only" in reason else ""
+            engines.append(engine_name + qualifier)
+        print(
+            f"{name:<10} {spec.groups.substrate:<8} {shape:<12} "
+            f"engines: {', '.join(engines)}"
+        )
+    print(
+        "  (* = timer-free policies only; see "
+        "`repro.scenario.CompiledScenario.eligibility`)"
+    )
     return 0
 
 
@@ -54,17 +80,17 @@ def _cmd_report(args) -> int:
 
 def _cmd_campaign(args) -> int:
     from .faults.campaign import FAMILIES, WORKLOADS, run_campaign
-    from .policy import POLICIES, MitigationPolicy
+    from .policy import policy_names
 
-    policy_names = (MitigationPolicy.name, *POLICIES)
+    known_policies = policy_names()
     unknown = [f for f in args.families if f not in FAMILIES]
     unknown += [w for w in args.workloads if w not in WORKLOADS]
-    unknown += [p for p in args.policies if p not in policy_names]
+    unknown += [p for p in args.policies if p not in known_policies]
     if unknown:
         print(f"unknown campaign names: {', '.join(unknown)}", file=sys.stderr)
         print(
             f"families: {', '.join(FAMILIES)}; workloads: "
-            f"{', '.join(WORKLOADS)}; policies: {', '.join(policy_names)}",
+            f"{', '.join(WORKLOADS)}; policies: {', '.join(known_policies)}",
             file=sys.stderr,
         )
         return 2
@@ -89,13 +115,39 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .scenario import run_sweep
+
+    result = run_sweep(
+        seed=args.seed,
+        count=args.count,
+        engine=args.engine,
+        verify_determinism=not args.no_verify,
+    )
+    print(result.table().render())
+    print()
+    print(f"sweep digest: {result.digest()}")
+    if result.fallbacks:
+        print(f"{len(result.fallbacks)} hybrid-infeasible scenarios ran discrete:")
+        for name, reason in result.fallbacks:
+            print(f"  {name}: {reason}")
+    if result.violations:
+        print(f"{len(result.violations)} oracle violations:", file=sys.stderr)
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fail-stutter fault tolerance reproduction: experiment runner",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="enumerate experiment ids and claims")
+    sub.add_parser(
+        "list", help="enumerate experiment ids, claims and bundled scenarios"
+    )
     run_parser = sub.add_parser("run", help="regenerate experiments by id")
     run_parser.add_argument("ids", nargs="+", help="experiment ids (or 'all')")
     report_parser = sub.add_parser(
@@ -124,19 +176,26 @@ def main(argv=None) -> int:
         "--scenarios", type=int, default=3, metavar="N",
         help="scenarios drawn per family (default: 3)",
     )
+    # Choice lists come from the live registries (bundled spec files and
+    # the policy roster), so spec-defined entries appear automatically.
+    from .faults.campaign import FAMILIES, WORKLOADS
+    from .policy import policy_names
+
     campaign_parser.add_argument(
         "--families", nargs="+", default=["magnitude", "correlated", "failstop"],
-        metavar="FAMILY", help="scenario families to sweep",
+        metavar="FAMILY",
+        help=f"scenario families to sweep ({', '.join(FAMILIES)})",
     )
     campaign_parser.add_argument(
         "--workloads", nargs="+", default=["raid10", "dht"],
-        metavar="WORKLOAD", help="workloads to drive (raid10, dht, surge)",
+        metavar="WORKLOAD",
+        help=f"workloads to drive ({', '.join(WORKLOADS)})",
     )
     campaign_parser.add_argument(
         "--policies", nargs="+",
-        default=["fixed-timeout", "adaptive-timeout", "retry-backoff",
-                 "hedged", "stutter-aware"],
-        metavar="POLICY", help="mitigation policies to score",
+        default=list(policy_names()[:-1]),
+        metavar="POLICY",
+        help=f"mitigation policies to score ({', '.join(policy_names())})",
     )
     campaign_parser.add_argument(
         "--no-verify", action="store_true",
@@ -147,6 +206,26 @@ def main(argv=None) -> int:
         help="execution engine: exact event simulation, or fluid "
              "fast-forwarding between fault windows (default: discrete)",
     )
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run machine-generated scenarios against the invariant oracle",
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=7, help="generator seed (default: 7)"
+    )
+    sweep_parser.add_argument(
+        "--count", type=int, default=25, metavar="N",
+        help="number of generated scenarios (default: 25)",
+    )
+    sweep_parser.add_argument(
+        "--engine", choices=["discrete", "hybrid"], default="discrete",
+        help="execution engine; hybrid-infeasible scenarios fall back to "
+             "discrete by name (default: discrete)",
+    )
+    sweep_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the oracle's same-seed rerun (halves runtime)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -154,6 +233,8 @@ def main(argv=None) -> int:
         return _cmd_run(args.ids)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     return _cmd_report(args)
 
 

@@ -87,14 +87,72 @@ if TYPE_CHECKING:  # pragma: no cover - types only
 __all__ = [
     "HybridInfeasible",
     "HybridRunner",
+    "feasibility_reason",
     "run_scenario_hybrid",
     "scale_scenario",
     "scale_workload",
+    "shape_feasibility",
 ]
 
 
 class HybridInfeasible(RuntimeError):
     """The workload/policy pair is outside the hybrid engine's exact regime."""
+
+
+def shape_feasibility(workload: "CampaignWorkload") -> Optional[str]:
+    """Why a *timer-bearing* policy could not bind to this workload shape.
+
+    ``None`` when the underloaded margin holds (per-member arrival
+    spacing above the nominal service time), in which case bind-time
+    feasibility reduces to the per-policy action-delay check.
+    Timer-free policies bind regardless of this answer -- their exact
+    regime extends into saturation -- so a non-``None`` reason here
+    means "hybrid is timer-free-only", not "hybrid is off".
+    """
+    service = workload.expected_service
+    cohort_gap = workload.gap * workload.n_pairs
+    if not cohort_gap > service * (1.0 + 1e-9):
+        return (
+            f"per-member arrival spacing {cohort_gap:.6g}s must exceed "
+            f"the nominal service time {service:.6g}s"
+        )
+    return None
+
+
+def feasibility_reason(workload: "CampaignWorkload",
+                       policy: "MitigationPolicy") -> Optional[str]:
+    """The bind-time :class:`HybridInfeasible` message, or ``None``.
+
+    This is the whole bind-time gate, shared by :class:`HybridRunner`
+    and the scenario compiler's eligibility probe
+    (:meth:`repro.scenario.CompiledScenario.eligibility`), so the
+    probe's verdicts cannot drift from what the runner actually raises.
+    Per-*era* refusals (queueing on a multi-live group mid-run) are
+    necessarily runtime checks and stay inside the runner.
+    """
+    service = workload.expected_service
+    cohort_gap = workload.gap * workload.n_pairs
+    delay = policy.hybrid_action_delay()
+    if delay is None:
+        # Timer-free policies extend into the saturated regime: the
+        # per-era FIFO reconstruction is exact under queueing, and the
+        # per-era checks in _fluid_flow enforce that any group which
+        # actually queues is pinned to a single live member.
+        return None
+    if not cohort_gap > service * (1.0 + 1e-9):
+        return (
+            f"per-member arrival spacing {cohort_gap:.6g}s must exceed "
+            f"the nominal service time {service:.6g}s (fault-free "
+            "servers must idle between arrivals for fluid exactness "
+            f"under the timer-bearing policy {policy.name!r})"
+        )
+    if delay <= service * (1.0 + 1e-9):
+        return (
+            f"policy {policy.name!r} may act after {delay:.6g}s, "
+            f"within the nominal service time {service:.6g}s -- "
+            "fault-free requests could trigger timers"
+        )
+    return None
 
 
 def scale_workload(workload: "CampaignWorkload", n_requests: int) -> "CampaignWorkload":
@@ -280,30 +338,10 @@ class HybridRunner:
     # -- feasibility ---------------------------------------------------------------
 
     def _require_feasible(self) -> None:
-        w = self.workload
-        service = w.expected_service
-        cohort_gap = w.gap * len(self.groups)
-        delay = self.policy.hybrid_action_delay()
-        self._action_delay = delay
-        if delay is None:
-            # Timer-free policies extend into the saturated regime: the
-            # per-era FIFO reconstruction is exact under queueing, and
-            # the per-era checks in _fluid_flow enforce that any group
-            # which actually queues is pinned to a single live member.
-            return
-        if not cohort_gap > service * (1.0 + 1e-9):
-            raise HybridInfeasible(
-                f"per-member arrival spacing {cohort_gap:.6g}s must exceed "
-                f"the nominal service time {service:.6g}s (fault-free "
-                "servers must idle between arrivals for fluid exactness "
-                f"under the timer-bearing policy {self.policy.name!r})"
-            )
-        if delay <= service * (1.0 + 1e-9):
-            raise HybridInfeasible(
-                f"policy {self.policy.name!r} may act after {delay:.6g}s, "
-                f"within the nominal service time {service:.6g}s -- "
-                "fault-free requests could trigger timers"
-            )
+        self._action_delay = self.policy.hybrid_action_delay()
+        reason = feasibility_reason(self.workload, self.policy)
+        if reason is not None:
+            raise HybridInfeasible(reason)
 
     # -- the run loop --------------------------------------------------------------
 

@@ -47,6 +47,7 @@ from . import (
     e25_observer,
     e26_campaign,
     e27_hybrid_scale,
+    e28_generative,
 )
 
 __all__ = [
@@ -85,6 +86,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "e25": e25_observer.run,
     "e26": e26_campaign.run,
     "e27": e27_hybrid_scale.run,
+    "e28": e28_generative.run,
     "a1": a1_notification.run,
     "a2": a2_threshold.run,
     "a3": a3_detectors.run,

@@ -110,66 +110,6 @@ class Scenario:
         return f"{self.family}[{self.index}] {parts}"
 
 
-def _one_member(rng: Random, groups: Sequence[Tuple[str, ...]]) -> str:
-    pair = groups[rng.randrange(len(groups))]
-    return pair[rng.randrange(len(pair))]
-
-
-def _family_magnitude(rng, groups, span):
-    """How *slow* -- one member, fixed episode, drawn slowdown factor."""
-    member = _one_member(rng, groups)
-    factor = rng.uniform(0.05, 0.5)
-    return [FaultEvent(member, "stutter", onset=0.15 * span, duration=0.5 * span, factor=factor)]
-
-
-def _family_onset(rng, groups, span):
-    """When it *starts* -- fixed slowdown, drawn onset time."""
-    member = _one_member(rng, groups)
-    onset = rng.uniform(0.05, 0.55) * span
-    return [FaultEvent(member, "stutter", onset=onset, duration=0.35 * span, factor=0.2)]
-
-
-def _family_duration(rng, groups, span):
-    """How *long* -- fixed slowdown and onset, drawn episode length."""
-    member = _one_member(rng, groups)
-    duration = rng.uniform(0.1, 0.6) * span
-    return [FaultEvent(member, "stutter", onset=0.15 * span, duration=duration, factor=0.2)]
-
-
-def _family_correlated(rng, groups, span):
-    """Both members of one replica pair stutter together.
-
-    This is the scenario fail-stop thinking handles worst: there is no
-    fast mirror to fail over to, so timeout-driven duplicates only pile
-    more work onto the already-degraded pair.
-    """
-    pair = groups[rng.randrange(len(groups))]
-    onset = rng.uniform(0.1, 0.25) * span
-    duration = rng.uniform(0.4, 0.6) * span
-    return [
-        FaultEvent(member, "stutter", onset=onset, duration=duration,
-                   factor=rng.uniform(0.08, 0.3))
-        for member in pair
-    ]
-
-
-def _family_failstop(rng, groups, span):
-    """Pure fail-stop control: one member halts, mirrors survive."""
-    member = _one_member(rng, groups)
-    return [FaultEvent(member, "fail-stop", onset=rng.uniform(0.1, 0.6) * span)]
-
-
-#: Family name -> generator ``(rng, groups, span) -> [FaultEvent, ...]``
-#: where ``span`` is the workload's submission window in seconds.
-FAMILIES: Dict[str, Callable[..., List[FaultEvent]]] = {
-    "magnitude": _family_magnitude,
-    "onset": _family_onset,
-    "duration": _family_duration,
-    "correlated": _family_correlated,
-    "failstop": _family_failstop,
-}
-
-
 # ---------------------------------------------------------------------------
 # Workloads
 # ---------------------------------------------------------------------------
@@ -202,6 +142,7 @@ class CampaignWorkload:
     slo_factor: float = 12.0
     horizon_factor: float = 6.0
     group_size: int = 2
+    tolerance: float = 0.2
 
     @property
     def expected_service(self) -> float:
@@ -234,37 +175,31 @@ class CampaignWorkload:
     def build(self, system: System) -> List[Tuple[str, ...]]:
         """Construct and register the servers; returns the group names."""
         groups = self.group_names()
-        spec = PerformanceSpec(self.rate, tolerance=0.2)
+        spec = PerformanceSpec(self.rate, tolerance=self.tolerance)
         for pair in groups:
             for member in pair:
                 DegradableServer(system, member, self.rate, spec=spec)
         return groups
 
 
+# The stock registries are no longer hand-wired here: every workload
+# and family is a declarative spec file under ``src/repro/scenarios/``
+# (raid10 = E1's mirrored disk pairs, dht = E12's replicated bricks,
+# surge = the saturated single-replica ingest tier; plus the five fault
+# families), compiled by :mod:`repro.scenario` into exactly the objects
+# the literals used to build -- byte-identical scenarios and scorecards,
+# pinned by ``tests/scenario/test_bundle_migration.py``.  The import is
+# safe mid-module: the bundle loader only needs ``CampaignWorkload``
+# (defined above) at load time and defers ``FaultEvent`` lookups to
+# generation time.
+from ..scenario import bundle as _bundle  # noqa: E402  (needs CampaignWorkload)
+
 #: The stock workloads the e26 experiment and the CLI campaign sweep.
-WORKLOADS: Dict[str, CampaignWorkload] = {
-    # E1's substrate: mirrored disk pairs, 0.5 MB reads at 5.5 MB/s.
-    "raid10": CampaignWorkload(
-        name="raid10", substrate="storage", prefix="d",
-        n_pairs=4, rate=5.5, work=0.5, gap=0.03, n_requests=320,
-    ),
-    # E12's substrate: replicated DHT bricks, unit-work gets at 100 ops/s,
-    # driven hard enough that a stuttering pair actually accumulates queue.
-    "dht": CampaignWorkload(
-        name="dht", substrate="cluster", prefix="brick",
-        n_pairs=4, rate=100.0, work=1.0, gap=0.006, n_requests=1200,
-    ),
-    # Saturated ingest tier: four unreplicated shards driven ~25% above
-    # their service rate (per-shard arrival spacing 4 * 0.0182 = 0.0728 s
-    # vs a 0.0909 s service time), so every shard queues for the whole
-    # run and latency compounds -- the overload regime the hybrid
-    # engine's FIFO delay reconstruction exists for.
-    "surge": CampaignWorkload(
-        name="surge", substrate="storage", prefix="shard",
-        n_pairs=4, rate=5.5, work=0.5, gap=0.0182, n_requests=320,
-        group_size=1,
-    ),
-}
+WORKLOADS: Dict[str, CampaignWorkload]
+#: Family name -> generator ``(rng, groups, span) -> [FaultEvent, ...]``
+#: where ``span`` is the workload's submission window in seconds.
+FAMILIES: Dict[str, Callable[..., List[FaultEvent]]]
+WORKLOADS, FAMILIES = _bundle.load_stock_registries()
 
 
 def generate_scenario(workload: CampaignWorkload, family: str, seed: int,

@@ -48,6 +48,7 @@ __all__ = [
     "StutterAwarePolicy",
     "POLICIES",
     "make_policy",
+    "policy_names",
 ]
 
 #: Name -> zero-argument factory for the standard policy roster the
@@ -59,6 +60,13 @@ POLICIES = {
     HedgedRequestPolicy.name: HedgedRequestPolicy,
     StutterAwarePolicy.name: StutterAwarePolicy,
 }
+
+
+def policy_names() -> tuple:
+    """Every name :func:`make_policy` accepts, roster order then the
+    ``no-mitigation`` control.  The single source the CLI and the
+    scenario-spec loader derive their choice lists from."""
+    return tuple(POLICIES) + (MitigationPolicy.name,)
 
 
 def make_policy(name: str) -> MitigationPolicy:

@@ -1,0 +1,116 @@
+"""Load the bundled spec files into the stock campaign registries.
+
+:mod:`repro.faults.campaign` no longer hand-wires its
+``WORKLOADS``/``FAMILIES`` dicts: at import it calls
+:func:`load_stock_registries`, which parses every spec file under
+``src/repro/scenarios/`` and compiles it into either a
+:class:`~repro.faults.campaign.CampaignWorkload` (``kind: scenario``)
+or a family generator (``kind: family``).  Dropping a new ``.json``
+file into that directory therefore adds a workload or family to the
+campaign CLI, ``python -m repro list``, and ``run_campaign`` with no
+Python change.
+
+Registry order is presentation order in scorecards, so the stock names
+keep their historical positions (the exact dict orders the hand-wired
+registries had); any new spec files follow alphabetically.
+
+Structural checks beyond per-file validation: a bundled file's stem
+must equal its spec ``name`` (so CLI names, registry keys and
+filenames never diverge) and two files must not claim the same name.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+
+from .compile import CompiledScenario, compile_family, compile_spec
+from .spec import FamilySpec, ScenarioSpec, SpecError, load_spec
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..faults.campaign import CampaignWorkload
+
+__all__ = [
+    "SPEC_DIR",
+    "STOCK_ORDER",
+    "load_stock_registries",
+    "scenarios",
+    "spec_paths",
+]
+
+#: The bundled spec directory (``src/repro/scenarios/``).
+SPEC_DIR = Path(__file__).resolve().parent.parent / "scenarios"
+
+#: Historical registry positions for the stock names; files beyond this
+#: list sort alphabetically after it.
+STOCK_ORDER: Tuple[str, ...] = (
+    "raid10", "dht", "surge",
+    "magnitude", "onset", "duration", "correlated", "failstop",
+)
+
+
+def spec_paths(directory: Path = None) -> List[Path]:
+    """Every spec file in the bundle, in registry (presentation) order."""
+    directory = SPEC_DIR if directory is None else Path(directory)
+    paths = [
+        path for path in directory.iterdir()
+        if path.suffix in (".json", ".toml")
+    ]
+
+    def order(path: Path):
+        stem = path.stem
+        try:
+            return (0, STOCK_ORDER.index(stem), stem)
+        except ValueError:
+            return (1, 0, stem)
+
+    return sorted(paths, key=order)
+
+
+def _load_all(directory: Path = None):
+    seen: Dict[str, Path] = {}
+    for path in spec_paths(directory):
+        spec = load_spec(path)
+        if spec.name != path.stem:
+            raise SpecError(
+                f"{path.name}: name: spec is named {spec.name!r} but the "
+                f"file stem is {path.stem!r}; they must match"
+            )
+        if spec.name in seen:
+            raise SpecError(
+                f"{path.name}: name: {spec.name!r} already defined by "
+                f"{seen[spec.name].name}"
+            )
+        seen[spec.name] = path
+        yield spec
+
+
+def load_stock_registries(
+    directory: Path = None,
+) -> Tuple[Dict[str, "CampaignWorkload"], Dict[str, Callable]]:
+    """``(WORKLOADS, FAMILIES)`` compiled from the bundled spec files."""
+    workloads: Dict[str, "CampaignWorkload"] = {}
+    families: Dict[str, Callable] = {}
+    for spec in _load_all(directory):
+        if isinstance(spec, FamilySpec):
+            families[spec.name] = compile_family(spec)
+        else:
+            workloads[spec.name] = compile_spec(spec).workload
+    return workloads, families
+
+
+_SCENARIO_CACHE: Dict[str, CompiledScenario] = {}
+
+
+def scenarios() -> Dict[str, CompiledScenario]:
+    """The bundled *scenario* specs, compiled (families excluded), cached.
+
+    What ``python -m repro list`` and the spec-lint script iterate: the
+    compiled form carries the workload, the spec digest, and the
+    engine-eligibility verdicts.
+    """
+    if not _SCENARIO_CACHE:
+        for spec in _load_all():
+            if isinstance(spec, ScenarioSpec):
+                _SCENARIO_CACHE[spec.name] = compile_spec(spec)
+    return dict(_SCENARIO_CACHE)

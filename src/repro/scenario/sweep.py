@@ -1,0 +1,222 @@
+"""Generative sweeps: N random scenarios vs. the invariant oracle.
+
+:func:`run_sweep` generates ``count`` scenarios from
+:mod:`repro.scenario.generate`, compiles each, and runs it under its
+drawn policy with the :class:`~repro.faults.campaign.InvariantOracle`
+as the universal pass/fail: work conservation, no-hang at the horizon,
+and (by default) a same-seed rerun whose outcome digest must match
+byte-for-byte.  The rolled-up :class:`SweepResult` scorecard aggregates
+per policy, and :meth:`SweepResult.digest` hashes every run's
+``(spec digest, outcome digest, engine used)`` triple -- the replay
+identity ``python -m repro sweep`` prints and CI compares across
+reruns.
+
+With ``engine="hybrid"`` each scenario first attempts the hybrid
+fluid/discrete path; a scenario outside the exact regime (at bind time
+or per-era) falls back to the discrete oracle *by name*: the
+:class:`~repro.core.hybrid.HybridInfeasible` reason is recorded in
+``SweepResult.fallbacks`` rather than silently swallowed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .compile import compile_spec
+from .generate import SweepBounds, generate_spec
+
+__all__ = ["SweepRun", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepRun:
+    """One generated scenario's audited outcome, sweep-side view."""
+
+    index: int
+    spec_name: str
+    spec_digest: str
+    policy: str
+    engine_used: str
+    outcome_digest: str
+    n_requests: int
+    failed_requests: int
+    slo_violations: int
+    issued_work: float
+    wasted_work: float
+    latencies: Tuple[float, ...]
+    violations: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class SweepResult:
+    """Everything one generative sweep produced."""
+
+    seed: int
+    count: int
+    engine: str
+    runs: List[SweepRun]
+    #: ``(spec name, HybridInfeasible reason)`` per discrete fallback.
+    fallbacks: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[str]:
+        return [
+            f"{run.spec_name}[{run.policy}]: {violation}"
+            for run in self.runs
+            for violation in run.violations
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def digest(self) -> str:
+        """SHA-256 over every run's (spec, outcome, engine) identity."""
+        payload = [
+            [run.spec_digest, run.outcome_digest, run.engine_used]
+            for run in self.runs
+        ]
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def table(self):
+        """The rolled-up scorecard, one row per policy drawn."""
+        from ..analysis.report import Table
+        from ..sim.metrics import LatencyRecorder
+
+        by_policy: Dict[str, List[SweepRun]] = {}
+        for run in self.runs:
+            by_policy.setdefault(run.policy, []).append(run)
+        table = Table(
+            f"Generative sweep: seed {self.seed}, {self.count} scenarios, "
+            f"engine {self.engine}",
+            [
+                "policy", "scenarios", "hybrid_runs", "requests", "mean_s",
+                "p99_s", "slo_viol_pct", "waste_pct", "failed_pct", "oracle",
+            ],
+            note=(
+                "Scenarios are machine-generated within SweepBounds; the "
+                "invariant oracle (work conservation, no-hang, rerun "
+                "determinism) is the universal pass/fail.  hybrid_runs "
+                "counts scenarios the hybrid engine executed end-to-end; "
+                "the rest fell back to the discrete oracle by name."
+            ),
+        )
+        for policy in sorted(by_policy):
+            runs = by_policy[policy]
+            recorder = LatencyRecorder(name="sweep")
+            for run in runs:
+                for latency in run.latencies:
+                    recorder.record(latency)
+            summary = recorder.summary()
+            requests = sum(r.n_requests for r in runs)
+            issued = sum(r.issued_work for r in runs)
+            wasted = sum(r.wasted_work for r in runs)
+            bad = sum(len(r.violations) for r in runs)
+            table.add_row(
+                policy,
+                len(runs),
+                sum(1 for r in runs if r.engine_used == "hybrid"),
+                requests,
+                summary.mean,
+                summary.p99,
+                100.0 * sum(r.slo_violations for r in runs) / requests
+                if requests else 0.0,
+                100.0 * wasted / issued if issued else 0.0,
+                100.0 * sum(r.failed_requests for r in runs) / requests
+                if requests else 0.0,
+                "ok" if not bad else f"VIOLATED({bad})",
+            )
+        return table
+
+
+def _run_once(workload, scenario, policy: str, engine: str, check: bool):
+    """One run under the requested engine; (outcome, engine_used, reason)."""
+    from ..faults.campaign import run_scenario
+
+    if engine == "hybrid":
+        from ..core.hybrid import HybridInfeasible, run_scenario_hybrid
+
+        try:
+            outcome = run_scenario_hybrid(workload, scenario, policy,
+                                          check=check)
+            return outcome, "hybrid", None
+        except HybridInfeasible as exc:
+            reason = str(exc)
+            outcome = run_scenario(workload, scenario, policy, check=check,
+                                   engine="discrete")
+            return outcome, "discrete", reason
+    outcome = run_scenario(workload, scenario, policy, check=check,
+                           engine="discrete")
+    return outcome, "discrete", None
+
+
+def run_sweep(
+    seed: int = 7,
+    count: int = 25,
+    engine: str = "discrete",
+    verify_determinism: bool = True,
+    bounds: Optional[SweepBounds] = None,
+) -> SweepResult:
+    """Run ``count`` generated scenarios; every run oracle-audited.
+
+    With ``verify_determinism`` (the default) each scenario runs twice
+    and the outcome digests must match -- under ``engine="hybrid"`` the
+    rerun retries the hybrid path, so an unstable fallback decision
+    would surface as a determinism violation, not vanish.
+    """
+    if engine not in ("discrete", "hybrid"):
+        raise ValueError(
+            f"engine must be 'discrete' or 'hybrid', got {engine!r}"
+        )
+    from ..faults.campaign import InvariantOracle
+
+    oracle = InvariantOracle()
+    runs: List[SweepRun] = []
+    fallbacks: List[Tuple[str, str]] = []
+    for index in range(count):
+        spec = generate_spec(seed, index, bounds)
+        compiled = compile_spec(spec)
+        scenario = compiled.scenario(seed=seed, index=index)
+        policy = spec.policy
+        outcome, engine_used, reason = _run_once(
+            compiled.workload, scenario, policy, engine, check=True
+        )
+        if reason is not None:
+            fallbacks.append((spec.name, reason))
+        violations = list(outcome.violations)
+        if verify_determinism:
+            rerun, rerun_engine, _ = _run_once(
+                compiled.workload, scenario, policy, engine, check=False
+            )
+            if rerun_engine != engine_used:
+                violations.append(
+                    f"determinism: rerun took the {rerun_engine} engine "
+                    f"after a {engine_used} first run"
+                )
+            else:
+                violations.extend(oracle.check_determinism(outcome, rerun))
+        runs.append(SweepRun(
+            index=index,
+            spec_name=spec.name,
+            spec_digest=spec.digest(),
+            policy=policy,
+            engine_used=engine_used,
+            outcome_digest=outcome.digest(),
+            n_requests=outcome.n_requests,
+            failed_requests=outcome.failed_requests,
+            slo_violations=outcome.slo_violations,
+            issued_work=outcome.issued_work,
+            wasted_work=outcome.wasted_work,
+            latencies=tuple(outcome.latencies),
+            violations=tuple(violations),
+        ))
+    return SweepResult(seed=seed, count=count, engine=engine, runs=runs,
+                       fallbacks=fallbacks)

@@ -1,0 +1,17 @@
+"""Bundled scenario/family spec files (data, not code).
+
+Every ``.json`` (or ``.toml``) file in this directory is one spec
+document parsed by :func:`repro.scenario.load_spec`;
+:mod:`repro.scenario.bundle` loads them all into the stock
+``WORKLOADS``/``FAMILIES`` registries of
+:mod:`repro.faults.campaign` at import.  Drop a new file here and it
+appears in ``python -m repro list`` and the campaign CLI automatically
+-- the filename (stem) must equal the spec's ``name``.
+"""
+
+from pathlib import Path
+
+#: Where the bundled spec files live.
+SPEC_DIR = Path(__file__).resolve().parent
+
+__all__ = ["SPEC_DIR"]

@@ -30,6 +30,9 @@ FAST_PARAMS = {
         "n_requests": 120,
         "verify_determinism": False,
     },
+    # e28's sweeps already rerun every scenario when verifying; the outer
+    # check reruns the whole table, so keep the inner verification off.
+    "e28": {"count": 6, "verify_determinism": False},
     "a2": {"n_requests": 150},
     "a4": {"block_counts": (100,)},
     "a6": {"throttles": (0.0, 2.0), "blocks": 330},

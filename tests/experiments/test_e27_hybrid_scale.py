@@ -49,3 +49,11 @@ class TestE27Shape:
         for r in _rows(table):
             if r["engine"] == "discrete":
                 assert r["check"] == "--"
+
+    def test_digest_pinned_across_the_spec_migration(self, table):
+        # Recorded against the last hand-wired WORKLOADS/FAMILIES
+        # registries; the spec-file bundle must reproduce every hybrid
+        # run byte-for-byte.
+        assert table.digest() == (
+            "18e1fedde6b6dc1bfad7c8e9c987d1504c1ab5c59e1d24dc33ad9ea57cbf0595"
+        )

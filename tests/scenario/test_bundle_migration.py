@@ -1,0 +1,183 @@
+"""The spec-file migration reproduces the hand-wired registries exactly.
+
+``WORKLOADS``/``FAMILIES`` used to be Python literals and closures inside
+``repro.faults.campaign``; they are now compiled at import from the
+bundled spec files under ``src/repro/scenarios/``.  The migration
+contract is byte-identity: the compiled generators must make the same
+RNG draws in the same order as the closures they replaced, so every
+digest ever recorded for E26/E27 stays valid.  The reference
+implementations below are copied verbatim from the last hand-wired
+revision -- they exist only to hold the compiled registries to the old
+behaviour.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.faults.campaign import (
+    FAMILIES,
+    WORKLOADS,
+    CampaignWorkload,
+    FaultEvent,
+    generate_scenario,
+)
+from repro.scenario import SpecError, bundle
+
+pytestmark = pytest.mark.campaign
+
+
+# --- reference: the pre-migration closures, verbatim ----------------------
+
+
+def _one_member(rng, groups):
+    pair = groups[rng.randrange(len(groups))]
+    return pair[rng.randrange(len(pair))]
+
+
+def _family_magnitude(rng, groups, span):
+    member = _one_member(rng, groups)
+    factor = rng.uniform(0.05, 0.5)
+    return [FaultEvent(member, "stutter", onset=0.15 * span,
+                       duration=0.5 * span, factor=factor)]
+
+
+def _family_onset(rng, groups, span):
+    member = _one_member(rng, groups)
+    onset = rng.uniform(0.05, 0.55) * span
+    return [FaultEvent(member, "stutter", onset=onset, duration=0.35 * span,
+                       factor=0.2)]
+
+
+def _family_duration(rng, groups, span):
+    member = _one_member(rng, groups)
+    duration = rng.uniform(0.1, 0.6) * span
+    return [FaultEvent(member, "stutter", onset=0.15 * span,
+                       duration=duration, factor=0.2)]
+
+
+def _family_correlated(rng, groups, span):
+    pair = groups[rng.randrange(len(groups))]
+    onset = rng.uniform(0.1, 0.25) * span
+    duration = rng.uniform(0.4, 0.6) * span
+    return [
+        FaultEvent(member, "stutter", onset=onset, duration=duration,
+                   factor=rng.uniform(0.08, 0.3))
+        for member in pair
+    ]
+
+
+def _family_failstop(rng, groups, span):
+    member = _one_member(rng, groups)
+    return [FaultEvent(member, "fail-stop", onset=rng.uniform(0.1, 0.6) * span)]
+
+
+REFERENCE_FAMILIES = {
+    "magnitude": _family_magnitude,
+    "onset": _family_onset,
+    "duration": _family_duration,
+    "correlated": _family_correlated,
+    "failstop": _family_failstop,
+}
+
+# --- reference: the pre-migration workload literals, verbatim -------------
+
+REFERENCE_WORKLOADS = {
+    "raid10": CampaignWorkload(
+        name="raid10", substrate="storage", prefix="d",
+        n_pairs=4, rate=5.5, work=0.5, gap=0.03, n_requests=320,
+    ),
+    "dht": CampaignWorkload(
+        name="dht", substrate="cluster", prefix="brick",
+        n_pairs=4, rate=100.0, work=1.0, gap=0.006, n_requests=1200,
+    ),
+    "surge": CampaignWorkload(
+        name="surge", substrate="storage", prefix="shard",
+        n_pairs=4, rate=5.5, work=0.5, gap=0.0182, n_requests=320,
+        group_size=1,
+    ),
+}
+
+
+class TestRegistryMigration:
+    def test_workloads_equal_the_hand_wired_literals(self):
+        assert dict(WORKLOADS) == REFERENCE_WORKLOADS
+        assert list(WORKLOADS) == list(REFERENCE_WORKLOADS)
+
+    def test_family_names_keep_their_historical_order(self):
+        assert list(FAMILIES) == list(REFERENCE_FAMILIES)
+
+    def test_compiled_families_are_byte_identical_to_the_closures(self):
+        # Same string-seeded RNG, same draws, same order: the compiled
+        # generators must emit the exact event lists the closures did,
+        # leaving the RNG in the exact same state.
+        for workload in REFERENCE_WORKLOADS.values():
+            for family, reference in REFERENCE_FAMILIES.items():
+                for seed in (7, 11):
+                    for index in range(4):
+                        key = (f"campaign:{seed}:{workload.name}:"
+                               f"{family}:{index}")
+                        ref_rng, new_rng = Random(key), Random(key)
+                        expected = reference(
+                            ref_rng, workload.group_names(), workload.span)
+                        produced = FAMILIES[family](
+                            new_rng, workload.group_names(), workload.span)
+                        assert produced == expected, (
+                            f"{workload.name}/{family} seed {seed} "
+                            f"index {index} diverged"
+                        )
+                        assert new_rng.getstate() == ref_rng.getstate()
+
+    def test_generate_scenario_reproduces_the_reference_stream(self):
+        # End-to-end through the campaign's own entry point.
+        for name, workload in REFERENCE_WORKLOADS.items():
+            for family, reference in REFERENCE_FAMILIES.items():
+                rng = Random(f"campaign:7:{name}:{family}:2")
+                expected = tuple(reference(rng, workload.group_names(),
+                                           workload.span))
+                scenario = generate_scenario(WORKLOADS[name], family, 7, 2)
+                assert scenario.events == expected
+
+
+class TestBundleStructure:
+    def test_stock_files_load_in_historical_order(self):
+        stems = [path.stem for path in bundle.spec_paths()]
+        assert stems == list(bundle.STOCK_ORDER)
+
+    def test_scenarios_helper_excludes_families(self):
+        assert set(bundle.scenarios()) == {"raid10", "dht", "surge"}
+
+    def test_stem_name_mismatch_is_rejected(self, tmp_path):
+        source = bundle.SPEC_DIR / "raid10.json"
+        (tmp_path / "renamed.json").write_text(source.read_text())
+        with pytest.raises(SpecError) as err:
+            bundle.load_stock_registries(tmp_path)
+        assert "file stem" in str(err.value)
+
+    def test_duplicate_names_across_suffixes_are_rejected(self, tmp_path):
+        pytest.importorskip("tomllib")
+        (tmp_path / "x.json").write_text(
+            '{"kind": "family", "name": "x", "target": "member",\n'
+            ' "fault": "fail-stop", "onset": {"fixed": 0.2, "of": "span"}}'
+        )
+        (tmp_path / "x.toml").write_text(
+            'kind = "family"\nname = "x"\ntarget = "member"\n'
+            'fault = "fail-stop"\n\n[onset]\nfixed = 0.2\nof = "span"\n'
+        )
+        with pytest.raises(SpecError) as err:
+            bundle.load_stock_registries(tmp_path)
+        assert "already defined" in str(err.value)
+
+    def test_toml_specs_load_equivalently(self, tmp_path):
+        pytest.importorskip("tomllib")
+        from repro.scenario import load_spec
+
+        json_spec = load_spec(bundle.SPEC_DIR / "failstop.json")
+        toml = (
+            'kind = "family"\nname = "failstop"\ntarget = "member"\n'
+            'fault = "fail-stop"\n\n[onset]\nuniform = [0.1, 0.6]\n'
+            'of = "span"\n'
+        )
+        path = tmp_path / "failstop.toml"
+        path.write_text(toml)
+        assert load_spec(path) == json_spec

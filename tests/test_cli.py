@@ -56,4 +56,42 @@ class TestCli:
 
     def test_campaign_unknown_family_fails(self, capsys):
         assert main(["campaign", "--families", "gc-pause"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+        # The hint enumerates the live registries, not a stale literal.
+        assert "magnitude" in err and "no-mitigation" in err
+
+    def test_campaign_unknown_policy_fails(self, capsys):
+        assert main(["campaign", "--policies", "pray"]) == 2
         assert "unknown" in capsys.readouterr().err
+
+    def test_list_shows_bundled_scenarios_with_engines(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bundled scenarios" in out
+        for name in ("raid10", "dht", "surge"):
+            assert name in out
+        # The saturated workload is flagged timer-free-only.
+        assert "hybrid*" in out
+
+    def test_campaign_help_derives_from_the_registries(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", "--help"])
+        assert exc.value.code == 0
+        # argparse wraps long help lines mid-name; compare unwrapped.
+        out = capsys.readouterr().out.replace("\n", "").replace(" ", "")
+        for name in ("magnitude", "correlated", "surge", "no-mitigation"):
+            assert name in out
+
+    def test_sweep_prints_scorecard_and_digest(self, capsys):
+        assert main(["sweep", "--count", "2", "--no-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "Generative sweep" in out
+        assert "sweep digest: " in out
+
+    def test_sweep_digest_is_replay_stable(self, capsys):
+        argv = ["sweep", "--count", "2", "--no-verify"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
