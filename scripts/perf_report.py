@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Time the benchmark suites and emit JSON reports.
 
-Seven suites, selected with ``--suite`` (or ``all`` to run every one):
+Eight suites, selected with ``--suite`` (or ``all`` to run every one):
 
 * ``engine`` (default) -- the kernel microbenchmarks, timed as
   baseline-vs-after (``BENCH_engine.json``);
@@ -26,7 +26,11 @@ Seven suites, selected with ``--suite`` (or ``all`` to run every one):
   clear 5x) (``BENCH_batch.json``);
 * ``sweep`` -- the generative scenario sweep: 100 machine-generated
   scenarios on each engine, oracle-clean with a byte-identical rerun
-  digest (``BENCH_sweep.json``).
+  digest (``BENCH_sweep.json``);
+* ``soak`` -- the soak campaign's memory contract: the same streaming
+  soak recorded in two fresh subprocesses at a 10x horizon difference,
+  each reporting its own peak RSS; the ratio must stay <= 1.1x and the
+  trace must verify byte-for-byte (``BENCH_soak.json``).
 
 Usage (from the repo root)::
 
@@ -55,6 +59,9 @@ Usage (from the repo root)::
 
     # Regenerate the seed-batch numbers (scalar vs batched e06):
     PYTHONPATH=src python scripts/perf_report.py --suite batch
+
+    # Regenerate the soak RSS-flatness numbers:
+    PYTHONPATH=src python scripts/perf_report.py --suite soak
 
     # Regenerate every BENCH_*.json in one pass:
     PYTHONPATH=src python scripts/perf_report.py --suite all
@@ -513,6 +520,124 @@ def run_sweep_suite(args) -> int:
     return 0
 
 
+#: The soak RSS child: records a soak to a trace with no windows
+#: retained and reports its own peak RSS.  Run in a fresh subprocess per
+#: horizon so ``ru_maxrss`` (a process-lifetime high-water mark) reflects
+#: that horizon alone.
+_SOAK_CHILD = """
+import json, resource, sys, time
+from repro.telemetry import record_soak
+n_windows, n_requests, trace = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
+start = time.perf_counter()
+result = record_soak(trace, seed=7, n_windows=n_windows,
+                     injectors_per_window=2, n_requests=n_requests,
+                     engine="hybrid", retain_windows=False)
+seconds = time.perf_counter() - start
+import os
+print(json.dumps({
+    "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "windows": result.n_windows,
+    "requests": result.requests,
+    "horizon_s": result.horizon,
+    "oracle_clean": result.ok,
+    "seconds": seconds,
+    "trace_bytes": os.path.getsize(trace),
+}))
+"""
+
+
+def run_soak_suite(args) -> int:
+    """Gate the soak campaign's O(1)-memory claim and verify its traces.
+
+    Two fresh subprocesses record the same soak (hybrid engine, windows
+    streamed to a trace, none retained) at a 10x horizon difference;
+    each reports its own ``ru_maxrss``.  The large run's peak RSS must
+    stay within 1.1x of the small run's -- a flat memory profile across
+    a 10x virtual-horizon growth -- and the small trace must replay and
+    verify byte-for-byte.  Writes ``BENCH_soak.json``; smoke mode does
+    an in-process record/replay/verify round trip with no RSS claim.
+    """
+    import os
+    import subprocess
+    import tempfile
+
+    from repro.telemetry import record_soak, replay_trace, verify_trace
+
+    if args.smoke:
+        with tempfile.TemporaryDirectory(prefix="repro-soak-smoke-") as tmp:
+            trace = os.path.join(tmp, "soak.jsonl")
+            result = record_soak(trace, seed=7, n_windows=3,
+                                 injectors_per_window=1, n_requests=40,
+                                 engine="hybrid", retain_windows=False)
+            replay = replay_trace(trace)
+            verify = verify_trace(trace)
+            ok = (result.ok and replay.consistent and replay.read.clean_close
+                  and len(replay.windows) == 3 and verify.ok)
+            if not ok:
+                print("soak suite smoke FAILED", file=sys.stderr)
+                if not verify.ok:
+                    print(verify.render(), file=sys.stderr)
+                return 1
+        print("  soak suite: ok")
+        return 0
+
+    n_requests = 2_000
+    windows_small, windows_large = 6, 60
+    env = dict(os.environ)
+    env["PYTHONPATH"] = args.kernel_src + os.pathsep + env.get("PYTHONPATH", "")
+    rows = {}
+    print(f"soak RSS across a 10x horizon ({n_requests} clients/window, "
+          "hybrid, windows streamed to trace, none retained):")
+    with tempfile.TemporaryDirectory(prefix="repro-soak-bench-") as tmp:
+        for label, n_windows in (("small", windows_small),
+                                 ("large", windows_large)):
+            trace = os.path.join(tmp, f"soak_{label}.jsonl")
+            proc = subprocess.run(
+                [sys.executable, "-c", _SOAK_CHILD, str(n_windows),
+                 str(n_requests), trace],
+                env=env, capture_output=True, text=True,
+            )
+            if proc.returncode != 0:
+                print(f"soak child ({label}) failed:\n{proc.stderr}",
+                      file=sys.stderr)
+                return 1
+            rows[label] = json.loads(proc.stdout.strip().splitlines()[-1])
+            row = rows[label]
+            print(f"  {label:6s} {row['windows']:3d} windows "
+                  f"({row['horizon_s'] / 3600.0:6.1f}h virtual)  rss "
+                  f"{row['maxrss_kb'] / 1024.0:7.1f} MiB  "
+                  f"{row['seconds']:6.2f} s  trace "
+                  f"{row['trace_bytes'] / 1024.0:8.1f} KiB  "
+                  f"clean={row['oracle_clean']}")
+        verify = verify_trace(os.path.join(tmp, "soak_small.jsonl"))
+        print(f"  {verify.render()}")
+
+    rss_ratio = rows["large"]["maxrss_kb"] / rows["small"]["maxrss_kb"]
+    meets_target = rss_ratio <= 1.1
+    clean = rows["small"]["oracle_clean"] and rows["large"]["oracle_clean"]
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "n_requests": n_requests,
+        "rows": rows,
+        "rss_ratio": rss_ratio,
+        "rss_target": 1.1,
+        "meets_target": meets_target,
+        "verified": verify.ok,
+        "oracle_clean": clean,
+    }
+    out = args.out or "BENCH_soak.json"
+    Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(f"  rss ratio (10x horizon) {rss_ratio:6.3f}x "
+          f"(target <= 1.1x: {'met' if meets_target else 'MISSED'})")
+    if not (clean and verify.ok):
+        print("soak suite FAILED: oracle violation or verify mismatch",
+              file=sys.stderr)
+        return 1
+    return 0 if meets_target else 1
+
+
 def run_models_suite(args) -> int:
     """Time the component-model hot paths against their retained
     reference implementations and write ``BENCH_models.json``.
@@ -671,6 +796,7 @@ SUITES = {
     "hybrid": run_hybrid_suite,
     "batch": run_batch_suite,
     "sweep": run_sweep_suite,
+    "soak": run_soak_suite,
 }
 
 

@@ -9,7 +9,11 @@ Usage::
     python -m repro report --workers 4   # parallel cache-miss regeneration
     python -m repro report --no-cache    # recompute everything from scratch
     python -m repro campaign --seed 7    # fault-campaign policy scorecard
+    python -m repro campaign --trace t.jsonl      # ...streamed to a trace file
+    python -m repro campaign --soak --windows 12  # long-horizon soak campaign
     python -m repro sweep --count 100    # generative sweep vs. the oracle
+    python -m repro replay t.jsonl       # reconstruct scorecard from a trace
+    python -m repro replay t.jsonl --verify  # re-run + byte-for-byte diff
 """
 
 from __future__ import annotations
@@ -94,25 +98,140 @@ def _cmd_campaign(args) -> int:
             file=sys.stderr,
         )
         return 2
-    result = run_campaign(
-        seed=args.seed,
-        workloads=tuple(args.workloads),
-        families=tuple(args.families),
-        policies=tuple(args.policies),
-        scenarios_per_family=args.scenarios,
-        verify_determinism=not args.no_verify,
-        engine=args.engine,
-    )
+    # --engine defaults by mode: soak campaigns exist for long horizons,
+    # where the hybrid engine is the only affordable path.
+    engine = args.engine or ("hybrid" if args.soak else "discrete")
+    if args.soak:
+        return _cmd_soak(args, engine)
+    if args.trace:
+        from .telemetry import record_campaign
+
+        result = record_campaign(
+            args.trace,
+            csv_path=args.trace_csv,
+            seed=args.seed,
+            workloads=tuple(args.workloads),
+            families=tuple(args.families),
+            policies=tuple(args.policies),
+            scenarios_per_family=args.scenarios,
+            n_requests=args.requests,
+            engine=engine,
+            verify_determinism=not args.no_verify,
+        )
+    else:
+        result = run_campaign(
+            seed=args.seed,
+            workloads=tuple(args.workloads),
+            families=tuple(args.families),
+            policies=tuple(args.policies),
+            scenarios_per_family=args.scenarios,
+            n_requests=args.requests,
+            verify_determinism=not args.no_verify,
+            engine=engine,
+        )
     table = result.table()
     print(table.render())
     print()
     print(f"scorecard digest: {table.digest()}")
+    if args.trace:
+        print(f"trace: {args.trace}")
     if result.violations:
         print(f"{len(result.violations)} oracle violations:", file=sys.stderr)
         for violation in result.violations:
             print(f"  {violation}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_soak(args, engine: str) -> int:
+    """The --soak arm of the campaign subcommand."""
+    from .faults.campaign import run_soak
+    from .telemetry import record_soak
+
+    # Soak drives ONE (workload, family, policy) cell for a long time;
+    # when the sweep-shaped defaults are still in place, narrow to the
+    # soak defaults rather than guessing among several.
+    workload = args.workloads[0] if len(args.workloads) == 1 else "raid10"
+    family = args.families[0] if len(args.families) == 1 else "magnitude"
+    policy = args.policies[0] if len(args.policies) == 1 else "stutter-aware"
+    if args.trace:
+        result = record_soak(
+            args.trace,
+            csv_path=args.trace_csv,
+            seed=args.seed,
+            workload=workload,
+            family=family,
+            policy=policy,
+            n_windows=args.windows,
+            injectors_per_window=args.injectors,
+            n_requests=args.requests,
+            engine=engine,
+            rolling=args.rolling,
+            retain_windows=False,
+        )
+        hours = result.horizon / 3600.0
+        print(
+            f"soak: {result.workload} x {result.family} x {result.policy} "
+            f"({result.engine}, seed {result.seed}): {result.n_windows} "
+            f"windows, {hours:.2f}h virtual, {result.requests} requests, "
+            f"{result.injectors} injector events"
+        )
+        print(
+            f"  slo violations {result.slo_violations} "
+            f"({100.0 * result.slo_fraction:.3f}%), final rolling mean "
+            f"{result.final_rolling_mean:.4f}s / p99 "
+            f"{result.final_rolling_p99:.4f}s"
+        )
+        print(f"  per-window scorecards streamed to {args.trace} "
+              f"(replay with: python -m repro replay {args.trace})")
+    else:
+        result = run_soak(
+            seed=args.seed,
+            workload=workload,
+            family=family,
+            policy=policy,
+            n_windows=args.windows,
+            injectors_per_window=args.injectors,
+            n_requests=args.requests,
+            engine=engine,
+            rolling=args.rolling,
+            retain_windows=True,
+        )
+        print(result.table().render())
+    if result.violations:
+        print(f"{len(result.violations)} oracle violations:", file=sys.stderr)
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from .telemetry import TraceError, TraceSchemaError, replay_trace, verify_trace
+
+    try:
+        replay = replay_trace(args.trace)
+    except TraceSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(replay.render())
+    status = 0
+    if replay.read.truncated or not replay.consistent:
+        status = 1
+    if args.verify:
+        result = verify_trace(args.trace,
+                              keep_regenerated=args.keep_regenerated)
+        print()
+        print(result.render())
+        if not result.ok:
+            status = 1
+    return status
 
 
 def _cmd_sweep(args) -> int:
@@ -202,9 +321,42 @@ def main(argv=None) -> int:
         help="skip the oracle's same-seed rerun (halves runtime)",
     )
     campaign_parser.add_argument(
-        "--engine", choices=["discrete", "hybrid"], default="discrete",
+        "--engine", choices=["discrete", "hybrid"], default=None,
         help="execution engine: exact event simulation, or fluid "
-             "fast-forwarding between fault windows (default: discrete)",
+             "fast-forwarding between fault windows (default: discrete; "
+             "hybrid with --soak)",
+    )
+    campaign_parser.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help="override every workload's request count (soak: per window)",
+    )
+    campaign_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="stream every run's telemetry to a schema-versioned JSONL "
+             "trace (replayable with `python -m repro replay`)",
+    )
+    campaign_parser.add_argument(
+        "--trace-csv", default=None, metavar="PATH",
+        help="also write the raw record stream as CSV (needs --trace)",
+    )
+    campaign_parser.add_argument(
+        "--soak", action="store_true",
+        help="soak mode: one (workload, family, policy) cell driven for "
+             "--windows windows of overlapping injectors, rolling-window "
+             "scorecards; defaults to raid10/magnitude/stutter-aware "
+             "unless exactly one of each is named",
+    )
+    campaign_parser.add_argument(
+        "--windows", type=int, default=6, metavar="N",
+        help="soak windows to drive (default: 6)",
+    )
+    campaign_parser.add_argument(
+        "--injectors", type=int, default=2, metavar="N",
+        help="independent fault draws merged per soak window (default: 2)",
+    )
+    campaign_parser.add_argument(
+        "--rolling", type=int, default=4, metavar="N",
+        help="trailing windows in the rolling scorecard (default: 4)",
     )
     sweep_parser = sub.add_parser(
         "sweep",
@@ -226,6 +378,20 @@ def main(argv=None) -> int:
         "--no-verify", action="store_true",
         help="skip the oracle's same-seed rerun (halves runtime)",
     )
+    replay_parser = sub.add_parser(
+        "replay",
+        help="reconstruct timelines and scorecards from a trace file",
+    )
+    replay_parser.add_argument("trace", help="path to a repro-trace JSONL file")
+    replay_parser.add_argument(
+        "--verify", action="store_true",
+        help="re-run the scenario embedded in the trace header and demand "
+             "a byte-for-byte identical regenerated trace",
+    )
+    replay_parser.add_argument(
+        "--keep-regenerated", default=None, metavar="PATH",
+        help="with --verify, keep the regenerated trace at PATH for diffing",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -235,6 +401,8 @@ def main(argv=None) -> int:
         return _cmd_campaign(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     return _cmd_report(args)
 
 

@@ -152,15 +152,37 @@ class TelemetryBus:
         self.active = True
 
     def subscribe_all(self, callback) -> None:
-        """Deliver every record on the bus to ``callback``."""
+        """Deliver every record on the bus to ``callback``.
+
+        The callback itself is the subscription handle: pass it to
+        :meth:`unsubscribe_all` to detach again.
+        """
         self._taps.append(callback)
         self.active = True
+
+    def unsubscribe_all(self, callback) -> None:
+        """Detach a :meth:`subscribe_all` tap, restoring pay-for-use gating.
+
+        Without this, a transient tap (a streaming trace sink attached
+        for one recorded run) would leave :attr:`active` latched True
+        forever and every later emitter on the same bus would keep
+        paying the full record-construction cost for records nobody
+        reads.  Detaching recomputes :attr:`active` from what is still
+        listening, so a drained bus goes back to the one-attribute-load
+        idle cost.
+        """
+        self._taps.remove(callback)
+        self._recompute_active()
 
     def set_tracer(self, tracer: Optional[Tracer]) -> None:
         """Attach (or detach) the tracer capturing every record."""
         self.tracer = tracer
-        if tracer is not None:
-            self.active = True
+        self._recompute_active()
+
+    def _recompute_active(self) -> None:
+        self.active = bool(
+            self.tracer is not None or self._taps or self._subscribers
+        )
 
     def emit(self, kind: str, subject: str, detail: Any = None) -> Optional[TraceRecord]:
         """Emit one record (dropped cheaply when nobody listens)."""

@@ -343,6 +343,16 @@ class HybridRunner:
         if reason is not None:
             raise HybridInfeasible(reason)
 
+    def check_feasible(self) -> None:
+        """Raise :class:`HybridInfeasible` now if this run cannot be exact.
+
+        Public so callers that attach observers to :attr:`system` (trace
+        sinks) can settle feasibility *first* -- an attempt that will
+        fall back to discrete must not leave records from the abandoned
+        runner.  Idempotent; :meth:`run` performs the same check.
+        """
+        self._require_feasible()
+
     # -- the run loop --------------------------------------------------------------
 
     def run(self) -> "ScenarioOutcome":
@@ -904,13 +914,20 @@ class HybridRunner:
 
 
 def run_scenario_hybrid(workload: "CampaignWorkload", scenario: "Scenario",
-                        policy, check: bool = True) -> "ScenarioOutcome":
+                        policy, check: bool = True,
+                        on_system=None) -> "ScenarioOutcome":
     """One hybrid (scenario, policy) run on a fresh System; oracle-audited.
 
     Raises :class:`HybridInfeasible` when the workload/policy pair is
     outside the exact fluid regime (callers fall back to discrete).
+    ``on_system`` (the trace-sink attachment hook, see
+    :func:`repro.faults.campaign.run_scenario`) is invoked with the
+    runner's system only after feasibility is settled.
     """
     runner = HybridRunner(workload, scenario, policy)
+    if on_system is not None:
+        runner.check_feasible()
+        on_system(runner.system)
     outcome = runner.run()
     if check:
         outcome.violations.extend(campaign.InvariantOracle().check(outcome))

@@ -73,6 +73,29 @@ class System(Simulator):
         super().__init__()
         self.telemetry = TelemetryBus(self, tracer)
         self.components = ComponentRegistry(self, self.telemetry)
+        self._sinks: List[object] = []
+
+    def attach_sink(self, sink) -> None:
+        """Stream every telemetry record into ``sink`` (``on_record``).
+
+        ``sink`` is any object with an ``on_record(record)`` method --
+        in practice a :class:`repro.telemetry.StreamingTraceSink`.  The
+        sink outlives the system (a soak campaign attaches one sink to
+        a fresh ``System`` per window), so attachment is just a bus
+        tap; :meth:`detach_sink` restores the bus's pay-for-use gating.
+        """
+        if sink in self._sinks:
+            raise ValueError(f"sink {sink!r} is already attached")
+        self.telemetry.subscribe_all(sink.on_record)
+        self._sinks.append(sink)
+
+    def detach_sink(self, sink) -> None:
+        """Stop streaming records into ``sink``."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            raise ValueError(f"sink {sink!r} is not attached") from None
+        self.telemetry.unsubscribe_all(sink.on_record)
 
     @property
     def trace(self) -> Optional[Tracer]:

@@ -48,6 +48,7 @@ from . import (
     e26_campaign,
     e27_hybrid_scale,
     e28_generative,
+    e29_soak,
 )
 
 __all__ = [
@@ -87,6 +88,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "e26": e26_campaign.run,
     "e27": e27_hybrid_scale.run,
     "e28": e28_generative.run,
+    "e29": e29_soak.run,
     "a1": a1_notification.run,
     "a2": a2_threshold.run,
     "a3": a3_detectors.run,

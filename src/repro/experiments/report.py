@@ -136,6 +136,14 @@ CLAIMS = {
     "machine-generated topologies and fault schedules sweep against the "
     "universal invariant oracle on both the discrete and hybrid engines, "
     "with replay-stable digests.",
+    "e29": "Section 5 (research agenda, deployed systems): performance "
+    "faults arrive mid-life, not at t=0 -- a soak campaign drives hundreds "
+    "of virtual hours through the hybrid engine at a million clients per "
+    "window, streaming rolling-window scorecards instead of retaining "
+    "state, and measures the rolling-window detection latency of a "
+    "mid-soak stutter onset (hybrid engine, 10^6 clients): the planted "
+    "correlated stutter surfaces in the first rolling scorecard whose "
+    "window overlaps it, at window granularity.",
     "a1": "Section 3.1 design choice: 'erratic performance may occur quite "
     "frequently, and thus distributing that information may be overly "
     "expensive' vs. exporting 'performance state' for persistent faults.",

@@ -37,7 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..analysis.report import Table
 from ..core.system import System
 from ..policy import POLICIES, MitigationPolicy, make_policy
-from ..sim.metrics import LatencyRecorder
+from ..sim.metrics import LatencyRecorder, P2Quantile, StreamingMoments
 from .component import DegradableServer
 from .spec import PerformanceSpec
 
@@ -57,6 +57,11 @@ __all__ = [
     "run_campaign",
     "CellScore",
     "CampaignResult",
+    "SoakWindow",
+    "SoakResult",
+    "soak_table",
+    "merge_soak_events",
+    "run_soak",
 ]
 
 #: Work-accounting comparisons use this absolute slack for float sums.
@@ -648,7 +653,9 @@ def _fresh_policy(policy: PolicyLike) -> MitigationPolicy:
 
 def run_scenario(workload: CampaignWorkload, scenario: Scenario,
                  policy: PolicyLike, check: bool = True,
-                 engine: str = "discrete") -> ScenarioOutcome:
+                 engine: str = "discrete",
+                 on_system: Optional[Callable[[System], None]] = None,
+                 ) -> ScenarioOutcome:
     """One (scenario, policy) run on a fresh System; oracle-audited.
 
     ``policy`` is a roster name, a factory, or a ready instance.  The
@@ -662,6 +669,13 @@ def run_scenario(workload: CampaignWorkload, scenario: Scenario,
     and drops to discrete simulation inside stutter/fail-stop windows.
     A workload outside the hybrid engine's exactness preconditions
     falls back to a full discrete run.
+
+    ``on_system`` is invoked with the run's freshly built
+    :class:`~repro.core.system.System` before the first event executes
+    -- the attachment point for streaming trace sinks
+    (``on_system=lambda s: s.attach_sink(sink)``).  On a hybrid run it
+    only fires once feasibility is settled, so an attempt that falls
+    back to discrete leaves no records from the abandoned runner.
     """
     if engine not in ("discrete", "hybrid"):
         raise ValueError(f"engine must be 'discrete' or 'hybrid', got {engine!r}")
@@ -669,12 +683,15 @@ def run_scenario(workload: CampaignWorkload, scenario: Scenario,
         from ..core.hybrid import HybridInfeasible, run_scenario_hybrid
 
         try:
-            return run_scenario_hybrid(workload, scenario, policy, check=check)
+            return run_scenario_hybrid(workload, scenario, policy, check=check,
+                                       on_system=on_system)
         except HybridInfeasible:
             pass  # outside the exact regime: the discrete oracle takes over
     system = System()
     groups = workload.build(system)
     campaign_engine = CampaignEngine(system, workload, groups, _fresh_policy(policy))
+    if on_system is not None:
+        on_system(system)
     outcome = campaign_engine.run(scenario)
     if check:
         outcome.violations.extend(InvariantOracle().check(outcome))
@@ -800,6 +817,7 @@ def run_campaign(
     n_requests: Optional[int] = None,
     verify_determinism: bool = True,
     engine: str = "discrete",
+    recorder=None,
 ) -> CampaignResult:
     """The full sweep: workloads x families x scenarios x policies.
 
@@ -811,6 +829,14 @@ def run_campaign(
     counts (used by fast test parameterisations).  ``engine`` selects
     discrete (exact) or hybrid (fluid between fault windows) execution
     for every run, rerun included.
+
+    ``recorder`` (a :class:`repro.telemetry.TraceRecorder`-shaped
+    object) streams the campaign to disk: ``begin_run(workload,
+    scenario, policy, engine)`` is called before every primary run and
+    returns the ``on_system`` sink hook (or None), ``end_run(outcome)``
+    after it.  Determinism reruns are *not* recorded -- they exist to
+    check the primary run, and recording them would double every
+    record in the trace.
     """
     if policies is None:
         policies = list(POLICIES)
@@ -826,8 +852,15 @@ def run_campaign(
             by_policy: Dict[str, List[ScenarioOutcome]] = {p: [] for p in policies}
             for scenario in scenarios:
                 for policy_name in policies:
+                    on_system = None
+                    if recorder is not None:
+                        on_system = recorder.begin_run(
+                            workload, scenario, policy_name, engine
+                        )
                     outcome = run_scenario(workload, scenario, policy_name,
-                                           engine=engine)
+                                           engine=engine, on_system=on_system)
+                    if recorder is not None:
+                        recorder.end_run(outcome)
                     if verify_determinism:
                         rerun = run_scenario(workload, scenario, policy_name,
                                              check=False, engine=engine)
@@ -846,4 +879,381 @@ def run_campaign(
         scenarios_per_family=scenarios_per_family,
         outcomes=outcomes,
         cells=cells,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Soak campaigns: long-horizon windows, rolling scorecards
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SoakWindow:
+    """One soak window's scorecard: exact counters, streaming statistics.
+
+    ``moments``/``p50``/``p99`` are the window's latency distribution in
+    the PR-3 streaming form (O(1) memory per window); the ``rolling_*``
+    fields aggregate the last ``rolling`` windows via the lane-merge
+    operators (:meth:`~repro.sim.metrics.StreamingMoments.merge`,
+    :meth:`~repro.sim.metrics.P2Quantile.combine`), which is what a
+    production dashboard would alert on.
+    """
+
+    index: int
+    start: float
+    end: float
+    injectors: int
+    requests: int
+    slo_violations: int
+    failed_requests: int
+    issued_work: float
+    wasted_work: float
+    moments: StreamingMoments
+    p50: P2Quantile
+    p99: P2Quantile
+    rolling_windows: int
+    rolling_requests: int
+    rolling_slo_violations: int
+    rolling_mean: float
+    rolling_p99: float
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def slo_fraction(self) -> float:
+        return self.slo_violations / self.requests if self.requests else 0.0
+
+    @property
+    def waste_fraction(self) -> float:
+        return self.wasted_work / self.issued_work if self.issued_work > 0 else 0.0
+
+    @property
+    def rolling_slo_fraction(self) -> float:
+        if not self.rolling_requests:
+            return 0.0
+        return self.rolling_slo_violations / self.rolling_requests
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form, exact (trace window records embed this)."""
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "injectors": self.injectors,
+            "requests": self.requests,
+            "slo_violations": self.slo_violations,
+            "failed_requests": self.failed_requests,
+            "issued_work": self.issued_work,
+            "wasted_work": self.wasted_work,
+            "moments": self.moments.to_dict(),
+            "p50": self.p50.to_dict(),
+            "p99": self.p99.to_dict(),
+            "rolling": {
+                "windows": self.rolling_windows,
+                "requests": self.rolling_requests,
+                "slo_violations": self.rolling_slo_violations,
+                "mean": self.rolling_mean,
+                "p99": self.rolling_p99,
+            },
+            "oracle_violations": list(self.violations),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SoakWindow":
+        """Rebuild a window serialized by :meth:`to_dict` (trace replay)."""
+        rolling = payload["rolling"]
+        return cls(
+            index=int(payload["index"]),
+            start=float(payload["start"]),
+            end=float(payload["end"]),
+            injectors=int(payload["injectors"]),
+            requests=int(payload["requests"]),
+            slo_violations=int(payload["slo_violations"]),
+            failed_requests=int(payload["failed_requests"]),
+            issued_work=float(payload["issued_work"]),
+            wasted_work=float(payload["wasted_work"]),
+            moments=StreamingMoments.from_dict(payload["moments"]),
+            p50=P2Quantile.from_dict(payload["p50"]),
+            p99=P2Quantile.from_dict(payload["p99"]),
+            rolling_windows=int(rolling["windows"]),
+            rolling_requests=int(rolling["requests"]),
+            rolling_slo_violations=int(rolling["slo_violations"]),
+            rolling_mean=float(rolling["mean"]),
+            rolling_p99=float(rolling["p99"]),
+            violations=list(payload.get("oracle_violations", [])),
+        )
+
+
+@dataclass
+class SoakResult:
+    """A whole soak campaign, windows optionally dropped as they stream.
+
+    With ``retain_windows=False`` (the O(1)-memory production mode,
+    what the RSS bench gates) only the merged whole-soak statistics and
+    the final rolling aggregates survive in RAM -- per-window scorecards
+    live in the attached trace sink instead.
+    """
+
+    seed: int
+    workload: str
+    family: str
+    policy: str
+    engine: str
+    n_windows: int
+    window_span: float
+    injectors: int
+    requests: int
+    slo_violations: int
+    failed_requests: int
+    issued_work: float
+    wasted_work: float
+    moments: StreamingMoments
+    final_rolling_mean: float
+    final_rolling_p99: float
+    windows: List[SoakWindow] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def horizon(self) -> float:
+        """Total virtual time driven, in seconds."""
+        return self.n_windows * self.window_span
+
+    @property
+    def slo_fraction(self) -> float:
+        return self.slo_violations / self.requests if self.requests else 0.0
+
+    def table(self) -> Table:
+        """Per-window scorecard (needs ``retain_windows=True``)."""
+        if not self.windows and self.n_windows:
+            raise ValueError(
+                "windows were streamed to the sink, not retained; "
+                "run with retain_windows=True or replay the trace"
+            )
+        return soak_table(
+            self.windows,
+            title=(
+                f"Soak: {self.workload} x {self.family} x {self.policy} "
+                f"({self.engine}, seed {self.seed}, {self.n_windows} windows, "
+                f"{self.horizon / 3600.0:.1f}h virtual)"
+            ),
+        )
+
+
+def soak_table(windows: Sequence[SoakWindow], title: str) -> Table:
+    """Render window scorecards (live or trace-replayed) as one table."""
+    table = Table(
+        title,
+        [
+            "window", "start_s", "injectors", "requests", "mean_s", "p99_s",
+            "slo_viol_pct", "roll_p99_s", "roll_slo_pct", "oracle",
+        ],
+        note=(
+            "One row per soak window (each a fresh run over the window's "
+            "virtual span); roll_* columns aggregate the trailing windows "
+            "via StreamingMoments.merge / P2Quantile.combine -- the "
+            "rolling scorecard a production alert would watch."
+        ),
+    )
+    for w in windows:
+        table.add_row(
+            w.index,
+            w.start,
+            w.injectors,
+            w.requests,
+            w.moments.mean if w.moments.count else 0.0,
+            w.p99.value(),
+            100.0 * w.slo_fraction,
+            w.rolling_p99,
+            100.0 * w.rolling_slo_fraction,
+            "ok" if not w.violations else f"VIOLATED({len(w.violations)})",
+        )
+    return table
+
+
+def merge_soak_events(draws: Sequence[Scenario],
+                      extra: Sequence[FaultEvent] = (),
+                      ) -> Tuple[FaultEvent, ...]:
+    """Union overlapping injector schedules into one runnable schedule.
+
+    Thousands of independent draws can disagree about a component's
+    fate; the physical rule is that a fail-stop is final.  Events are
+    ordered by onset and every event landing on a component at or after
+    its first fail-stop is dropped (``DegradableMixin`` would ignore
+    the slowdown anyway; dropping it keeps the injector-event stream in
+    the trace honest).  Overlapping stutters on one component survive
+    as separate injector channels and compound multiplicatively.
+    """
+    merged = sorted(
+        [e for s in draws for e in s.events] + list(extra),
+        key=lambda e: (e.onset, e.component, e.kind, e.duration, e.factor),
+    )
+    stopped: Dict[str, float] = {}
+    kept: List[FaultEvent] = []
+    for event in merged:
+        cut = stopped.get(event.component)
+        if cut is not None and event.onset >= cut:
+            continue
+        kept.append(event)
+        if event.kind == "fail-stop":
+            stopped[event.component] = event.onset
+    return tuple(kept)
+
+
+def run_soak(
+    seed: int = 7,
+    workload: Union[str, CampaignWorkload] = "raid10",
+    family: str = "magnitude",
+    policy: PolicyLike = "stutter-aware",
+    n_windows: int = 6,
+    injectors_per_window: int = 2,
+    n_requests: Optional[int] = None,
+    engine: str = "hybrid",
+    rolling: int = 4,
+    extra_events: Sequence[Tuple[int, FaultEvent]] = (),
+    sink=None,
+    check: bool = True,
+    retain_windows: bool = True,
+) -> SoakResult:
+    """A long-horizon soak: ``n_windows`` windows of overlapping injectors.
+
+    Window *w* covers virtual time ``[w*H, (w+1)*H)`` where ``H`` is the
+    workload's drain horizon; each window is an independent oracle-audited
+    run (a fresh ``System`` -- faults do not cross window edges) whose
+    fault schedule is the merged union of ``injectors_per_window`` family
+    draws (indices ``w*k .. w*k+k-1``, so no draw repeats across the
+    soak) plus any ``extra_events`` pinned to that window as
+    ``(window_index, event)`` pairs in window-local time.
+
+    Fault extents are drawn against the *stock* request count (the
+    :func:`repro.core.hybrid.scale_scenario` convention), so scaling
+    ``n_requests`` to 10^6 embeds stock-sized fault windows in a much
+    longer fault-free stretch and the hybrid engine keeps the run
+    mostly fluid.
+
+    Memory is O(windows retained): with ``retain_windows=False`` each
+    window's scorecard is folded into the rolling aggregates (via the
+    PR-7 lane-merge operators) and streamed to ``sink`` (any
+    :class:`repro.telemetry.StreamingTraceSink`-shaped object), then
+    dropped -- RSS stays flat as the virtual horizon grows, which
+    ``scripts/perf_report.py --suite soak`` gates.
+    """
+    from collections import deque
+
+    if n_windows < 1:
+        raise ValueError(f"n_windows must be >= 1, got {n_windows}")
+    if rolling < 1:
+        raise ValueError(f"rolling must be >= 1, got {rolling}")
+    base = WORKLOADS[workload] if isinstance(workload, str) else workload
+    scaled = base if n_requests is None else replace(base, n_requests=n_requests)
+    span = scaled.horizon
+    extras: Dict[int, List[FaultEvent]] = {}
+    for window_index, event in extra_events:
+        if not 0 <= window_index < n_windows:
+            raise ValueError(
+                f"extra event pinned to window {window_index}, but the soak "
+                f"has windows 0..{n_windows - 1}"
+            )
+        extras.setdefault(window_index, []).append(event)
+
+    policy_name = policy if isinstance(policy, str) else _fresh_policy(policy).name
+    recent: deque = deque(maxlen=rolling)
+    windows: List[SoakWindow] = []
+    total_moments = StreamingMoments()
+    totals = {"requests": 0, "slo": 0, "failed": 0, "injectors": 0}
+    total_issued = 0.0
+    total_wasted = 0.0
+    violations: List[str] = []
+    rolling_mean = 0.0
+    rolling_p99 = 0.0
+    for w in range(n_windows):
+        start = w * span
+        draws = [
+            generate_scenario(scaled, family, seed, w * injectors_per_window + j)
+            for j in range(injectors_per_window)
+        ]
+        events = merge_soak_events(draws, extras.get(w, ()))
+        scenario = Scenario(family=family, index=w, seed=seed, events=events)
+        on_system = None
+        if sink is not None:
+            sink.time_offset = start
+            sink.write_run_start(
+                run=w, workload=scaled.name, family=family, index=w,
+                seed=seed, policy=policy_name, engine=engine, events=events,
+                start=start,
+            )
+            on_system = lambda system: system.attach_sink(sink)  # noqa: E731
+        outcome = run_scenario(scaled, scenario, policy, check=check,
+                               engine=engine, on_system=on_system)
+        moments = StreamingMoments()
+        p50 = P2Quantile(0.5)
+        p99 = P2Quantile(0.99)
+        for latency in outcome.latencies:
+            moments.push(latency)
+            p50.push(latency)
+            p99.push(latency)
+        window_violations = [f"window[{w}]: {v}" for v in outcome.violations]
+        recent.append((moments, p99, outcome.n_requests, outcome.slo_violations))
+        rolling_acc = StreamingMoments()
+        for m, __, __, __ in recent:
+            rolling_acc.merge(m)
+        rolling_mean = rolling_acc.mean if rolling_acc.count else 0.0
+        rolling_p99 = P2Quantile.combine([q for __, q, __, __ in recent])
+        score = SoakWindow(
+            index=w,
+            start=start,
+            end=start + span,
+            injectors=len(events),
+            requests=outcome.n_requests,
+            slo_violations=outcome.slo_violations,
+            failed_requests=outcome.failed_requests,
+            issued_work=outcome.issued_work,
+            wasted_work=outcome.wasted_work,
+            moments=moments,
+            p50=p50,
+            p99=p99,
+            rolling_windows=len(recent),
+            rolling_requests=sum(r for __, __, r, __ in recent),
+            rolling_slo_violations=sum(v for __, __, __, v in recent),
+            rolling_mean=rolling_mean,
+            rolling_p99=rolling_p99,
+            violations=window_violations,
+        )
+        if sink is not None:
+            sink.write_window(score.to_dict())
+        total_moments.merge(moments)
+        totals["requests"] += outcome.n_requests
+        totals["slo"] += outcome.slo_violations
+        totals["failed"] += outcome.failed_requests
+        totals["injectors"] += len(events)
+        total_issued += outcome.issued_work
+        total_wasted += outcome.wasted_work
+        violations.extend(window_violations)
+        if retain_windows:
+            windows.append(score)
+        # Everything per-window (outcome, latency list, score) is now
+        # folded into the aggregates above; dropping it here is what
+        # keeps RSS flat as the horizon grows.
+        del outcome, score, moments, p50, p99
+    return SoakResult(
+        seed=seed,
+        workload=scaled.name,
+        family=family,
+        policy=policy_name,
+        engine=engine,
+        n_windows=n_windows,
+        window_span=span,
+        injectors=totals["injectors"],
+        requests=totals["requests"],
+        slo_violations=totals["slo"],
+        failed_requests=totals["failed"],
+        issued_work=total_issued,
+        wasted_work=total_wasted,
+        moments=total_moments,
+        final_rolling_mean=rolling_mean,
+        final_rolling_p99=rolling_p99,
+        windows=windows,
+        violations=violations,
     )

@@ -102,6 +102,34 @@ class StreamingMoments:
             self.maximum = other.maximum
         return self
 
+    def to_dict(self) -> dict:
+        """Exact JSON-ready state; :meth:`from_dict` round-trips it.
+
+        Floats are carried verbatim (``repr`` round-trip through JSON
+        is exact for finite doubles); infinities from the empty
+        recorder survive because the JSON layer emits ``Infinity``
+        literals.  Trace run-end/window records embed this, so a replay
+        reconstructs scorecard statistics bit-for-bit.
+        """
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self._m2,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StreamingMoments":
+        """Rebuild a recorder serialized by :meth:`to_dict`."""
+        moments = cls()
+        moments.count = int(payload["count"])
+        moments.mean = float(payload["mean"])
+        moments._m2 = float(payload["m2"])
+        moments.minimum = float(payload["min"])
+        moments.maximum = float(payload["max"])
+        return moments
+
     @property
     def variance(self) -> float:
         """Population variance of the observations so far (0 if empty)."""
@@ -208,6 +236,24 @@ class P2Quantile:
             frac = pos - lo
             return heights[lo] * (1 - frac) + heights[hi] * frac
         return heights[2]
+
+    def to_dict(self) -> dict:
+        """Exact JSON-ready marker state; :meth:`from_dict` round-trips it."""
+        return {
+            "q": self.q,
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "P2Quantile":
+        """Rebuild an estimator serialized by :meth:`to_dict`."""
+        estimator = cls(float(payload["q"]))
+        estimator._heights = [float(x) for x in payload["heights"]]
+        estimator._positions = [float(x) for x in payload["positions"]]
+        estimator._desired = [float(x) for x in payload["desired"]]
+        return estimator
 
     def _cdf_points(self) -> Tuple[List[float], List[float]]:
         """This estimator's piecewise-linear CDF as (heights, fractions).

@@ -1,0 +1,49 @@
+"""Production observability: streaming trace export, replay, verify.
+
+The in-memory :class:`~repro.sim.trace.Tracer` answers "what happened
+in this process"; this package answers the production questions --
+"what happened last night" (:class:`StreamingTraceSink` streams every
+TelemetryBus record to schema-versioned JSONL with O(subjects) memory),
+"reconstruct it from the file alone" (:func:`replay_trace`), "is this
+damaged file salvageable" (:func:`read_trace` recovers the valid
+prefix of a crash-truncated trace, never raising), and "is this trace
+honest" (:func:`verify_trace` re-runs the embedded parameters and
+demands byte-for-byte identity).
+
+Entry points: ``python -m repro replay <trace>`` and the ``--trace`` /
+``--soak`` flags on ``python -m repro campaign``.
+"""
+
+from .reader import TraceError, TraceRead, TraceSchemaError, read_trace
+from .record import (
+    TraceRecorder,
+    VerifyResult,
+    record_campaign,
+    record_soak,
+    record_spec_run,
+    stock_spec_digests,
+    verify_trace,
+)
+from .replay import RunSummary, TraceReplay, replay_trace
+from .sink import TRACE_FORMAT, TRACE_SCHEMA_VERSION, StreamingTraceSink, dumps_line
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_SCHEMA_VERSION",
+    "StreamingTraceSink",
+    "dumps_line",
+    "TraceError",
+    "TraceSchemaError",
+    "TraceRead",
+    "read_trace",
+    "RunSummary",
+    "TraceReplay",
+    "replay_trace",
+    "TraceRecorder",
+    "VerifyResult",
+    "record_campaign",
+    "record_soak",
+    "record_spec_run",
+    "stock_spec_digests",
+    "verify_trace",
+]

@@ -1,0 +1,384 @@
+"""Recording orchestrations and the byte-for-byte trace verifier.
+
+The sink is a mechanism; this module is the policy.  Each ``record_*``
+function owns the full trace protocol for one run shape -- header
+(with the PR-9 spec digests pinning what actually ran), run-start /
+records / run-end per run, footer -- and writes a ``meta`` block
+sufficient to *regenerate* the trace from nothing but the file.  That
+closure is what :func:`verify_trace` exploits: it re-runs the embedded
+parameters into a temporary file and compares bytes.  Because every
+simulation is RNG-free after seeded generation and every line is
+canonical JSON, the only honest outcome is identity; the first
+differing byte offset is reported otherwise.
+
+Policies must be roster *names* here (not instances): an instance
+cannot be serialized into ``meta``, so it cannot be regenerated, so
+the trace could never verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..scenario.bundle import spec_paths
+from ..scenario.spec import ScenarioSpec, load_spec
+from .reader import read_trace
+from .sink import StreamingTraceSink
+
+__all__ = [
+    "TraceRecorder",
+    "VerifyResult",
+    "record_campaign",
+    "record_soak",
+    "record_spec_run",
+    "stock_spec_digests",
+    "verify_trace",
+]
+
+
+def stock_spec_digests(names: Optional[Sequence[str]] = None) -> Dict[str, str]:
+    """Bundled spec name -> PR-9 digest, optionally filtered to ``names``.
+
+    This is what trace headers embed: the digest of every workload and
+    family spec the run touched, so a replayed trace can detect that
+    the bundle has since changed out from under it.
+    """
+    digests: Dict[str, str] = {}
+    for path in spec_paths():
+        spec = load_spec(path)
+        if names is None or spec.name in names:
+            digests[spec.name] = spec.digest()
+    if names is not None:
+        missing = sorted(set(names) - set(digests))
+        if missing:
+            raise KeyError(f"no bundled spec(s) named {missing}")
+    return digests
+
+
+def _require_policy_names(policies) -> None:
+    for policy in policies:
+        if not isinstance(policy, str):
+            raise TypeError(
+                f"recorded runs need roster policy names, got {policy!r}; "
+                "an instance cannot be regenerated for verify"
+            )
+
+
+class TraceRecorder:
+    """The ``recorder`` hook :func:`repro.faults.campaign.run_campaign` takes.
+
+    ``begin_run`` writes the run-start line and returns the
+    ``on_system`` callback that attaches the sink to the run's fresh
+    System; ``end_run`` writes the run-end line.  The run counter is
+    the recorder's own -- trace run numbering is the order runs were
+    recorded, independent of sweep nesting.
+    """
+
+    def __init__(self, sink: StreamingTraceSink):
+        self.sink = sink
+        self.runs = 0
+
+    def begin_run(self, workload, scenario, policy: str, engine: str):
+        self.sink.write_run_start(
+            run=self.runs,
+            workload=workload.name,
+            family=scenario.family,
+            index=scenario.index,
+            seed=scenario.seed,
+            policy=policy,
+            engine=engine,
+            events=scenario.events,
+        )
+        return lambda system: system.attach_sink(self.sink)
+
+    def end_run(self, outcome) -> None:
+        self.sink.write_run_end(self.runs, outcome)
+        self.runs += 1
+
+
+def record_campaign(
+    path,
+    csv_path=None,
+    seed: int = 7,
+    workloads: Sequence[str] = ("raid10", "dht"),
+    families: Sequence[str] = ("magnitude", "correlated", "failstop"),
+    policies: Optional[Sequence[str]] = None,
+    scenarios_per_family: int = 3,
+    n_requests: Optional[int] = None,
+    engine: str = "discrete",
+    verify_determinism: bool = False,
+):
+    """Run a campaign sweep with every primary run streamed to ``path``.
+
+    Returns the :class:`~repro.faults.campaign.CampaignResult`.  The
+    trace is byte-identical whether ``verify_determinism`` is on or off
+    (reruns exist to check the primary run and are never recorded), so
+    :func:`verify_trace` always regenerates with it off.
+    """
+    from ..faults.campaign import POLICIES, run_campaign
+
+    if policies is None:
+        policies = list(POLICIES)
+    _require_policy_names(policies)
+    meta = {
+        "seed": seed,
+        "workloads": list(workloads),
+        "families": list(families),
+        "policies": list(policies),
+        "scenarios_per_family": scenarios_per_family,
+        "n_requests": n_requests,
+        "engine": engine,
+    }
+    with StreamingTraceSink(path, csv_path=csv_path) as sink:
+        sink.write_header(
+            mode="campaign",
+            meta=meta,
+            specs=stock_spec_digests(list(workloads) + list(families)),
+        )
+        result = run_campaign(
+            seed=seed,
+            workloads=workloads,
+            families=families,
+            policies=policies,
+            scenarios_per_family=scenarios_per_family,
+            n_requests=n_requests,
+            verify_determinism=verify_determinism,
+            engine=engine,
+            recorder=TraceRecorder(sink),
+        )
+        sink.write_end()
+    return result
+
+
+def record_soak(
+    path,
+    csv_path=None,
+    seed: int = 7,
+    workload: str = "raid10",
+    family: str = "magnitude",
+    policy: str = "stutter-aware",
+    n_windows: int = 6,
+    injectors_per_window: int = 2,
+    n_requests: Optional[int] = None,
+    engine: str = "hybrid",
+    rolling: int = 4,
+    extra_events: Sequence[Tuple[int, Any]] = (),
+    check: bool = True,
+    retain_windows: bool = False,
+):
+    """Run a soak campaign streamed to ``path``; returns the SoakResult.
+
+    ``retain_windows`` defaults to False here -- recording exists so the
+    per-window scorecards can live on disk instead of in RAM; replay
+    the trace (or pass True) to get them back.
+    """
+    from ..faults.campaign import FaultEvent, run_soak
+
+    _require_policy_names([policy])
+    extra_meta = [
+        [w, {
+            "component": e.component,
+            "kind": e.kind,
+            "onset": e.onset,
+            "duration": e.duration,
+            "factor": e.factor,
+        }]
+        for w, e in extra_events
+    ]
+    meta = {
+        "seed": seed,
+        "workload": workload,
+        "family": family,
+        "policy": policy,
+        "n_windows": n_windows,
+        "injectors_per_window": injectors_per_window,
+        "n_requests": n_requests,
+        "engine": engine,
+        "rolling": rolling,
+        "extra_events": extra_meta,
+        "check": check,
+    }
+    with StreamingTraceSink(path, csv_path=csv_path) as sink:
+        sink.write_header(
+            mode="soak",
+            meta=meta,
+            specs=stock_spec_digests([workload, family]),
+        )
+        result = run_soak(
+            seed=seed,
+            workload=workload,
+            family=family,
+            policy=policy,
+            n_windows=n_windows,
+            injectors_per_window=injectors_per_window,
+            n_requests=n_requests,
+            engine=engine,
+            rolling=rolling,
+            extra_events=[(w, FaultEvent(**dict(d))) for w, d in extra_meta],
+            sink=sink,
+            check=check,
+            retain_windows=retain_windows,
+        )
+        sink.write_end()
+    return result
+
+
+def record_spec_run(
+    path,
+    spec: ScenarioSpec,
+    csv_path=None,
+    policy: Optional[str] = None,
+    seed: int = 7,
+    index: int = 0,
+    engine: str = "discrete",
+):
+    """Run one declarative spec (PR-9) with the trace streamed to ``path``.
+
+    The *whole spec* is embedded in the header meta -- a spec-run trace
+    is self-contained and verifies even for generated (never-bundled)
+    specs, which is what the replay round-trip property test leans on.
+    """
+    from ..faults.campaign import run_scenario
+    from ..scenario.compile import compile_spec
+
+    compiled = compile_spec(spec)
+    chosen = policy if policy is not None else spec.policy
+    if chosen is None:
+        raise ValueError(f"spec {spec.name!r} binds no policy; pass policy=")
+    _require_policy_names([chosen])
+    meta = {
+        "spec": spec.to_dict(),
+        "policy": chosen,
+        "seed": seed,
+        "index": index,
+        "engine": engine,
+    }
+    scenario = compiled.scenario(seed, index)
+    with StreamingTraceSink(path, csv_path=csv_path) as sink:
+        sink.write_header(
+            mode="spec",
+            meta=meta,
+            specs={spec.name: spec.digest()},
+        )
+        recorder = TraceRecorder(sink)
+        on_system = recorder.begin_run(compiled.workload, scenario, chosen, engine)
+        outcome = run_scenario(compiled.workload, scenario, chosen,
+                               engine=engine, on_system=on_system)
+        recorder.end_run(outcome)
+        sink.write_end()
+    return outcome
+
+
+@dataclass
+class VerifyResult:
+    """What ``replay --verify`` reports."""
+
+    path: str
+    ok: bool
+    reasons: List[str]
+    original_bytes: int = 0
+    regenerated_bytes: int = 0
+    first_diff: Optional[int] = None
+
+    def render(self) -> str:
+        if self.ok:
+            return (
+                f"{self.path}: VERIFIED -- regenerated byte-identical "
+                f"({self.original_bytes} bytes)"
+            )
+        lines = [f"{self.path}: VERIFY FAILED"]
+        for reason in self.reasons:
+            lines.append(f"  - {reason}")
+        return "\n".join(lines)
+
+
+def _first_diff(a: bytes, b: bytes) -> int:
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            return i
+    return limit
+
+
+def verify_trace(path, keep_regenerated: Optional[str] = None) -> VerifyResult:
+    """Re-run the scenario embedded in a trace and diff the bytes.
+
+    Determinism end-to-end: the header's ``meta`` is fed back through
+    the same ``record_*`` orchestration (into a sibling temp file,
+    removed afterwards unless ``keep_regenerated`` names a path) and
+    the two files must match byte-for-byte.  Before re-running, the
+    header's spec digests are checked against the *current* bundle, so
+    "the spec changed since this was recorded" is reported as itself
+    rather than as a mystifying byte diff.
+    """
+    read = read_trace(path)  # raises on non-trace / unknown schema
+    reasons: List[str] = []
+    if read.truncated:
+        reasons.append(
+            f"trace is truncated at byte {read.truncated_at}; only a "
+            "cleanly closed trace can verify"
+        )
+    elif not read.clean_close:
+        reasons.append("trace has no end footer; only a cleanly closed "
+                       "trace can verify")
+    if reasons:
+        return VerifyResult(path=str(path), ok=False, reasons=reasons,
+                            original_bytes=read.file_bytes)
+    mode = read.mode
+    meta = read.meta
+    if mode in ("campaign", "soak"):
+        current = stock_spec_digests()
+        for name, digest in sorted(read.specs.items()):
+            now = current.get(name)
+            if now is None:
+                reasons.append(f"spec {name!r} is no longer bundled")
+            elif now != digest:
+                reasons.append(
+                    f"bundled spec {name!r} changed since recording "
+                    f"({digest[:12]} -> {now[:12]})"
+                )
+        if reasons:
+            return VerifyResult(path=str(path), ok=False, reasons=reasons,
+                                original_bytes=read.file_bytes)
+    regen = Path(keep_regenerated) if keep_regenerated else (
+        Path(str(path) + ".regen")
+    )
+    try:
+        if mode == "campaign":
+            record_campaign(regen, **meta)
+        elif mode == "soak":
+            record_soak(regen, **meta)
+        elif mode == "spec":
+            meta = dict(meta)
+            spec = ScenarioSpec.parse(meta.pop("spec"))
+            record_spec_run(regen, spec, **meta)
+        else:
+            return VerifyResult(
+                path=str(path), ok=False,
+                reasons=[f"unknown trace mode {mode!r}; cannot regenerate"],
+                original_bytes=read.file_bytes,
+            )
+        original = Path(path).read_bytes()
+        regenerated = regen.read_bytes()
+        if original == regenerated:
+            return VerifyResult(path=str(path), ok=True, reasons=[],
+                                original_bytes=len(original),
+                                regenerated_bytes=len(regenerated))
+        diff = _first_diff(original, regenerated)
+        context = original[max(0, diff - 20):diff + 20]
+        return VerifyResult(
+            path=str(path), ok=False,
+            reasons=[
+                f"regenerated trace diverges at byte {diff} "
+                f"(original {len(original)} bytes, regenerated "
+                f"{len(regenerated)}); context: {context!r}"
+            ],
+            original_bytes=len(original),
+            regenerated_bytes=len(regenerated),
+            first_diff=diff,
+        )
+    finally:
+        if keep_regenerated is None and regen.exists():
+            regen.unlink()

@@ -33,6 +33,9 @@ FAST_PARAMS = {
     # e28's sweeps already rerun every scenario when verifying; the outer
     # check reruns the whole table, so keep the inner verification off.
     "e28": {"count": 6, "verify_determinism": False},
+    # e29's default is a million clients per window; the detection shape
+    # is scale-free, so the determinism check soaks a small population.
+    "e29": {"n_requests": 800, "n_windows": 4, "onset_window": 2},
     "a2": {"n_requests": 150},
     "a4": {"block_counts": (100,)},
     "a6": {"throttles": (0.0, 2.0), "blocks": 330},

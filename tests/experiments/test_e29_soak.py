@@ -1,0 +1,67 @@
+"""E29 shape: the rolling scorecard detects the planted mid-soak stutter.
+
+The experiment's claim is a detection-latency measurement, so the table
+must actually contain the measurement: quiet windows before the onset,
+a flagged ONSET window at (or after) the planted one, rolling
+violation counts that never decrease once the stutter lands, and an
+oracle-clean run throughout.  Scaled down for the fast tier; the 10^6
+default runs in the report and the soak perf suite.
+"""
+
+import pytest
+
+from repro.experiments import e29_soak
+
+pytestmark = pytest.mark.soak
+
+N_WINDOWS = 5
+ONSET = 2
+
+
+@pytest.fixture(scope="module")
+def table():
+    return e29_soak.run(n_requests=1500, n_windows=N_WINDOWS,
+                        onset_window=ONSET, rolling=2)
+
+
+def _rows(table):
+    return [dict(zip(table.columns, row)) for row in table.rows]
+
+
+class TestE29Shape:
+    def test_one_row_per_window(self, table):
+        assert table.column("window") == list(range(N_WINDOWS))
+
+    def test_quiet_windows_have_no_injectors_or_violations(self, table):
+        rows = _rows(table)
+        for row in rows[:ONSET]:
+            assert row["injectors"] == 0
+            assert row["roll_slo_viol"] == 0
+            assert row["flagged"] == ""
+
+    def test_onset_window_carries_the_planted_pair_stutter(self, table):
+        assert _rows(table)[ONSET]["injectors"] == 2  # d0 and d1
+
+    def test_detection_flags_the_onset_window(self, table):
+        rows = _rows(table)
+        flagged = [r["window"] for r in rows if r["flagged"] == "ONSET"]
+        assert flagged == [ONSET]
+        assert rows[ONSET]["roll_slo_viol"] > 0
+
+    def test_rolling_violations_never_decrease_within_reach(self, table):
+        # With rolling=2 the violations stay visible one window past
+        # onset, then may roll off; they must never appear before onset.
+        rows = _rows(table)
+        assert rows[ONSET + 1]["roll_slo_viol"] >= rows[ONSET]["roll_slo_viol"] or \
+            rows[ONSET + 1]["roll_slo_viol"] > 0
+
+    def test_oracle_clean_throughout(self, table):
+        assert table.column("oracle") == ["ok"] * N_WINDOWS
+
+    def test_note_reports_detection_latency(self, table):
+        assert "detection" in table.note
+        assert "latency" in table.note
+
+    def test_onset_outside_soak_rejected(self):
+        with pytest.raises(ValueError, match="onset_window"):
+            e29_soak.run(n_requests=100, n_windows=2, onset_window=5)

@@ -259,11 +259,11 @@ class TestAblations:
 
 
 class TestRegistryOfExperiments:
-    def test_all_thirty_five_registered(self):
-        assert len(ALL_EXPERIMENTS) == 35
+    def test_all_thirty_six_registered(self):
+        assert len(ALL_EXPERIMENTS) == 36
 
     def test_ids_match_design_doc(self):
         expected = {f"e{i:02d}" for i in range(1, 15)}
-        expected |= {f"e{i}" for i in range(15, 29)}
+        expected |= {f"e{i}" for i in range(15, 30)}
         expected |= {f"a{i}" for i in range(1, 8)}
         assert set(ALL_EXPERIMENTS) == expected

@@ -109,6 +109,30 @@ def test_perf_report_batch_suite_smoke_mode():
     assert "batch suite: ok" in result.stdout
 
 
+def test_perf_report_soak_suite_smoke_mode():
+    """The soak suite records a tiny soak trace, replays it, and verifies
+    it byte-for-byte (the RSS gate itself only runs in full mode)."""
+    result = _run(
+        [sys.executable, "scripts/perf_report.py", "--suite", "soak", "--smoke"]
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "soak suite: ok" in result.stdout
+
+
+def test_bench_soak_artifact_meets_rss_gate():
+    """The committed BENCH_soak.json shows flat memory across a 10x
+    horizon (streaming, not retaining) and a byte-verified trace."""
+    import json
+
+    payload = json.loads((REPO_ROOT / "BENCH_soak.json").read_text())
+    assert payload["rss_target"] == 1.1
+    assert payload["meets_target"] is True
+    assert payload["rss_ratio"] <= payload["rss_target"]
+    assert payload["verified"] is True
+    assert payload["oracle_clean"] is True
+    assert payload["rows"], "per-horizon soak rows missing"
+
+
 def test_perf_report_campaign_suite_smoke_mode():
     """The campaign suite runs a reduced sweep once and verifies a clean
     oracle plus a byte-identical in-process rerun."""

@@ -83,6 +83,33 @@ class TestCli:
         for name in ("magnitude", "correlated", "surge", "no-mitigation"):
             assert name in out
 
+    def test_campaign_soak_prints_rolling_scorecard(self, capsys):
+        argv = [
+            "campaign", "--soak", "--windows", "2", "--injectors", "1",
+            "--requests", "40", "--workloads", "raid10",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Soak: raid10" in out
+        assert "roll_p99_s" in out
+
+    def test_campaign_soak_trace_replays_and_verifies(self, tmp_path, capsys):
+        trace = tmp_path / "soak.jsonl"
+        argv = [
+            "campaign", "--soak", "--windows", "2", "--injectors", "1",
+            "--requests", "40", "--trace", str(trace),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["replay", str(trace), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "soak trace" in out
+        assert "VERIFIED" in out
+
+    def test_replay_missing_file_fails_by_name(self, capsys):
+        assert main(["replay", "/nonexistent/trace.jsonl"]) == 2
+        assert "trace.jsonl" in capsys.readouterr().err
+
     def test_sweep_prints_scorecard_and_digest(self, capsys):
         assert main(["sweep", "--count", "2", "--no-verify"]) == 0
         out = capsys.readouterr().out
